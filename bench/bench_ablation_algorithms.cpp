@@ -1,0 +1,70 @@
+// Ablation: 1D vs 1.5D vs 2D decompositions under the same sparsity-aware
+// treatment and partitioner. Reproduces CAGNET's design rationale that the
+// paper inherits (§4: "We focus on 1D and 1.5D algorithms as they
+// outperformed other algorithms (e.g. 2D and 3D) in CAGNET") — the 2D
+// algorithm's Z all-reduce cannot be shrunk by sparsity, so for tall-skinny
+// GNN workloads it loses to sparsity-aware 1D at scale.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dist/spmm_2d.hpp"
+#include "simcomm/cluster.hpp"
+
+using namespace sagnn;
+using namespace sagnn::bench;
+
+namespace {
+
+/// One epoch-equivalent of 2D SpMMs (the trainer only supports 1D/1.5D, so
+/// the 2D cost is measured on the raw SpMM chain: 5 multiplies = 3 forward
+/// + 2 backward, matching the 3-layer GCN).
+EpochCost run_2d_epoch(const Dataset& ds, int p, SpmmMode mode) {
+  const SquareGrid grid = SquareGrid::make(p);
+  const auto ranges = uniform_block_ranges(ds.n_vertices(), grid.q);
+  Cluster cluster(p);
+  std::vector<double> cpu(static_cast<std::size_t>(p), 0.0);
+  cluster.run([&](Comm& comm) {
+    DistSpmm2d spmm_dist(comm, ds.adjacency, ranges, mode);
+    const BlockRange in = spmm_dist.input_range();
+    Matrix local = ds.features.slice_rows(in.begin, in.end);
+    double* secs = &cpu[static_cast<std::size_t>(comm.rank())];
+    for (int i = 0; i < 5; ++i) {
+      Matrix z = spmm_dist.multiply(local, secs);
+      local = spmm_dist.remap_for_next(z);
+    }
+  });
+  CostModel model;
+  model.volume_scale = ds.sim_scale;
+  return epoch_cost(model, cluster.traffic(), cpu);
+}
+
+}  // namespace
+
+int main() {
+  preamble("Ablation — decomposition choice (1D vs 1.5D vs 2D)",
+           "Same dataset, sparsity-aware everywhere; perfect-square process\n"
+           "counts so the 2D grid exists. '2D' covers the 5 SpMMs of a\n"
+           "3-layer GCN epoch (no dense layer compute).");
+
+  for (const char* name : {"amazon", "protein"}) {
+    const Dataset ds = make_dataset(name, DatasetScale::kSmall);
+    print_banner(std::cout, ds.name);
+    Table table({"p", "1D SA+GVB ms", "1.5D c=2 SA+GVB ms", "2D SA ms",
+                 "2D allreduce ms"});
+    for (int p : {16, 64, 256}) {
+      const auto d1 = run_scheme(ds, kSaGvb1d, p);
+      const auto d15 = run_scheme(
+          ds, SchemeSpec{"", DistAlgo::k15dSparse, "gvb"}, p, /*c=*/2);
+      const EpochCost d2 = run_2d_epoch(ds, p, SpmmMode::kSparsityAware);
+      table.add_row({std::to_string(p), ms(d1.modeled_epoch_seconds()),
+                     ms(d15.modeled_epoch_seconds()), ms(d2.total()),
+                     ms(d2.allreduce)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nShape check: the 2D column is dominated by its all-reduce\n"
+               "(sparsity-independent), so sparsity-aware 1D/1.5D win —\n"
+               "the reason the paper builds on those decompositions.\n";
+  return 0;
+}

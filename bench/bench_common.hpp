@@ -1,0 +1,53 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches: a uniform way
+// to run one (dataset, algorithm, partitioner, p, c) configuration and
+// collect modeled epoch costs + exact volumes.
+//
+// Every bench prints the paper-shaped table on stdout. Absolute times come
+// from the alpha-beta cost model (see DESIGN.md §2); the claims being
+// reproduced are the *relative* shapes: who wins, by what factor, and where
+// the crossovers sit.
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_support/tableio.hpp"
+#include "gnn/dist_trainer.hpp"
+#include "graph/datasets.hpp"
+
+namespace sagnn::bench {
+
+struct SchemeSpec {
+  std::string label;        // e.g. "CAGNET", "SA", "SA+GVB"
+  DistAlgo algo;
+  std::string partitioner;  // block | random | metis | gvb
+};
+
+inline const SchemeSpec kCagnet1d{"CAGNET", DistAlgo::k1dOblivious, "block"};
+inline const SchemeSpec kSa1d{"SA", DistAlgo::k1dSparse, "block"};
+inline const SchemeSpec kSaMetis1d{"SA+METIS", DistAlgo::k1dSparse, "metis"};
+inline const SchemeSpec kSaGvb1d{"SA+GVB", DistAlgo::k1dSparse, "gvb"};
+
+inline DistTrainerResult run_scheme(const Dataset& ds, const SchemeSpec& scheme,
+                                    int p, int c = 1, int epochs = 2) {
+  DistTrainerOptions opt;
+  opt.algo = scheme.algo;
+  opt.partitioner = scheme.partitioner;
+  opt.p = p;
+  opt.c = c;
+  opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
+  // Calibrate the cost model to the full-size dataset this analogue stands
+  // for (see Dataset::sim_scale / CostModel::volume_scale).
+  opt.cost_model.volume_scale = ds.sim_scale;
+  return train_distributed(ds, opt);
+}
+
+/// Milliseconds with 4 significant digits, for table cells.
+inline std::string ms(double seconds) { return Table::num(seconds * 1e3, 4); }
+
+inline void preamble(const std::string& what, const std::string& note) {
+  std::cout << "\n######## " << what << " ########\n" << note << "\n";
+}
+
+}  // namespace sagnn::bench

@@ -1,0 +1,69 @@
+// Microbenchmarks of the simulated collectives: runtime-side throughput of
+// bcast / all-to-allv / all-reduce at several rank counts. These measure
+// the simulator itself (host memcpy + scheduling), not modeled network
+// time — useful for keeping the harness overhead in check.
+
+#include <benchmark/benchmark.h>
+
+#include "simcomm/cluster.hpp"
+#include "simcomm/collectives.hpp"
+
+namespace sagnn {
+namespace {
+
+void BM_Bcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    run_spmd(p, [elems](Comm& comm) {
+      std::vector<real_t> data(elems, comm.rank() == 0 ? 1.0f : 0.0f);
+      bcast<real_t>(comm, 0, data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * (p - 1) * elems * sizeof(real_t));
+}
+BENCHMARK(BM_Bcast)->Args({4, 1 << 14})->Args({16, 1 << 14})->Args({64, 1 << 12});
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    run_spmd(p, [p, elems](Comm& comm) {
+      std::vector<std::vector<real_t>> send(static_cast<std::size_t>(p));
+      for (auto& buf : send) buf.assign(elems, 1.0f);
+      auto recv = alltoallv<real_t>(comm, send);
+      benchmark::DoNotOptimize(recv.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * p * (p - 1) * elems *
+                          sizeof(real_t));
+}
+BENCHMARK(BM_Alltoallv)->Args({4, 1 << 12})->Args({16, 1 << 10})->Args({64, 1 << 8});
+
+void BM_AllreduceRing(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    run_spmd(p, [elems](Comm& comm) {
+      std::vector<real_t> data(elems, static_cast<real_t>(comm.rank()));
+      allreduce_sum<real_t>(comm, data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * p * elems * sizeof(real_t));
+}
+BENCHMARK(BM_AllreduceRing)->Args({4, 1 << 14})->Args({16, 1 << 12})->Args({64, 1 << 10});
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_spmd(p, [](Comm& comm) {
+      for (int i = 0; i < 10; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,58 @@
+// Microbenchmarks of the partitioners: wall time of the METIS-analogue and
+// the GVB-analogue by graph size and part count — the "is partitioning
+// amortizable?" question the paper answers in §1 (yes: hundreds of epochs,
+// each with 2L-1 SpMMs, against a one-time partitioning cost).
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+
+namespace sagnn {
+namespace {
+
+CsrMatrix graph_for(int scale) {
+  Rng rng(static_cast<std::uint64_t>(scale));
+  return CsrMatrix::from_coo(rmat(scale, 8, rng));
+}
+
+void BM_EdgeCutPartitioner(benchmark::State& state) {
+  const CsrMatrix a = graph_for(static_cast<int>(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const auto part = EdgeCutPartitioner().partition(a, k);
+    benchmark::DoNotOptimize(part.part_of.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_EdgeCutPartitioner)
+    ->Args({10, 8})
+    ->Args({12, 8})
+    ->Args({12, 32})
+    ->Args({14, 16});
+
+void BM_GvbPartitioner(benchmark::State& state) {
+  const CsrMatrix a = graph_for(static_cast<int>(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const auto part = GvbPartitioner().partition(a, k);
+    benchmark::DoNotOptimize(part.part_of.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_GvbPartitioner)->Args({10, 8})->Args({12, 8})->Args({12, 32});
+
+void BM_VolumeStats(benchmark::State& state) {
+  const CsrMatrix a = graph_for(12);
+  const auto part = EdgeCutPartitioner().partition(a, 16);
+  for (auto _ : state) {
+    const auto stats = compute_volume_stats(a, part);
+    benchmark::DoNotOptimize(stats.pair_rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_VolumeStats);
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,58 @@
+// Mini-batch (neighbor-sampled) vs full-batch GCN training — the contrast
+// that motivates the paper (§1): sampling avoids distributing the graph but
+// re-touches multiplied L-hop neighborhoods every epoch and adds sampling
+// noise; full-batch training does exact math and turns the problem into the
+// distributed-SpMM question this library solves.
+//
+//   $ ./minibatch_vs_fullbatch            # protein-sim
+//   $ ./minibatch_vs_fullbatch amazon 20  # dataset, epochs
+
+#include <cstdio>
+#include <string>
+
+#include "gnn/sampled_trainer.hpp"
+#include "gnn/serial_trainer.hpp"
+#include "graph/datasets.hpp"
+
+using namespace sagnn;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "protein";
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 15;
+
+  const Dataset ds = make_dataset(name, DatasetScale::kSmall);
+  std::printf("dataset %s: %d vertices, %lld aggregation nnz\n\n",
+              ds.name.c_str(), ds.n_vertices(),
+              static_cast<long long>(ds.n_edges()));
+
+  GcnConfig cfg = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
+  cfg.learning_rate = 0.1f;
+
+  // Full-batch: 2L-1 exact SpMMs per epoch, nnz work == graph nnz each.
+  SerialTrainer full(ds, cfg);
+  // Mini-batch: GraphSAGE-style fanout-10 sampling, batches of 512.
+  SamplingConfig sampling;
+  sampling.batch_size = 512;
+  sampling.fanouts.assign(static_cast<std::size_t>(cfg.n_layers()), 10);
+  SampledTrainer sampled(ds, cfg, sampling);
+
+  std::printf("epoch | full-batch loss  acc | sampled loss  acc | sampled-edges/graph-nnz\n");
+  for (int e = 0; e < epochs; ++e) {
+    const EpochMetrics fm = full.run_epoch();
+    const SampledEpochMetrics sm = sampled.run_epoch();
+    std::printf("%5d | %10.4f  %5.3f | %8.4f  %5.3f | %8.2fx\n", e, fm.loss,
+                fm.train_accuracy, sm.loss, sm.train_accuracy,
+                static_cast<double>(sm.sampled_edges) / ds.n_edges());
+  }
+
+  const LossStats sampled_eval = sampled.evaluate();
+  std::printf("\nfull-graph evaluation of the sampled model: loss %.4f acc %.3f\n",
+              sampled_eval.mean_loss(), sampled_eval.accuracy());
+  std::printf(
+      "\nReading guide: the last column is the per-epoch aggregation work of\n"
+      "sampling relative to ONE full-graph SpMM — mini-batching does not\n"
+      "remove the compute, it shuffles it into irregular gathers, and its\n"
+      "loss curve is noisier. That is the paper's case for scaling\n"
+      "full-batch training with sparsity-aware communication instead.\n");
+  return 0;
+}

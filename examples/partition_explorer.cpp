@@ -1,0 +1,76 @@
+// Partition explorer: compare the four partitioners on any graph — either
+// a bundled synthetic dataset or a Matrix Market file — across part counts,
+// reporting the metrics that drive sparsity-aware communication: edgecut,
+// total volume, max send volume, volume imbalance, compute imbalance.
+//
+//   $ ./partition_explorer                       # amazon-sim, k = 4..64
+//   $ ./partition_explorer protein 16            # one dataset, one k
+//   $ ./partition_explorer /path/to/graph.mtx 32 # your own matrix
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_support/tableio.hpp"
+#include "common/timer.hpp"
+#include "graph/datasets.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "sparse/io_mtx.hpp"
+
+using namespace sagnn;
+
+namespace {
+
+CsrMatrix load_graph(const std::string& spec) {
+  if (spec.find(".mtx") != std::string::npos) {
+    CooMatrix coo = read_matrix_market_file(spec);
+    coo.symmetrize();
+    return CsrMatrix::from_coo(coo);
+  }
+  return make_dataset(spec, DatasetScale::kSmall).adjacency;
+}
+
+void explore(const CsrMatrix& a, int k) {
+  std::cout << "\n-- k = " << k << " parts --\n";
+  Table table({"partitioner", "edgecut", "total rows", "max send rows",
+               "vol imbalance %", "nnz imbalance", "seconds"});
+  for (const char* name : {"block", "random", "metis", "gvb"}) {
+    WallTimer timer;
+    const auto part = make_partitioner(name)->partition(a, k);
+    const double secs = timer.seconds();
+    const auto stats = compute_volume_stats(a, part);
+    table.add_row({name, std::to_string(stats.edgecut),
+                   std::to_string(stats.total_rows()),
+                   std::to_string(stats.max_send_rows()),
+                   Table::num(stats.send_imbalance_percent(), 3),
+                   Table::num(compute_load_imbalance(a, part), 3),
+                   Table::num(secs, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec = argc > 1 ? argv[1] : "amazon";
+  CsrMatrix a;
+  try {
+    a = load_graph(spec);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "failed to load '%s': %s\n", spec.c_str(), e.what());
+    return 1;
+  }
+  std::cout << "graph: " << spec << "  n=" << a.n_rows() << "  nnz=" << a.nnz()
+            << "\n";
+  if (argc > 2) {
+    explore(a, std::atoi(argv[2]));
+  } else {
+    for (int k : {4, 16, 64}) explore(a, k);
+  }
+  std::cout << "\nReading guide: 'metis' minimizes total volume only;\n"
+               "'gvb' additionally minimizes max send rows — compare the\n"
+               "'max send rows' column to see the paper's §5 effect.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a graph dataset, train a 3-layer GCN serially, then
+// train the same model on a simulated 8-GPU cluster with the paper's
+// sparsity-aware 1D algorithm + GVB partitioning, and confirm the two
+// trainings agree.
+//
+//   $ ./quickstart
+//
+// This touches the main public entry points: graph/datasets.hpp,
+// gnn/serial_trainer.hpp and gnn/dist_trainer.hpp.
+
+#include <cstdio>
+
+#include "gnn/dist_trainer.hpp"
+#include "gnn/serial_trainer.hpp"
+#include "graph/datasets.hpp"
+
+using namespace sagnn;
+
+int main() {
+  // 1. A synthetic "amazon-like" node-classification dataset (scaled-down
+  //    analogue of the paper's Amazon co-purchase graph).
+  const Dataset ds = make_amazon_sim(DatasetScale::kSmall);
+  std::printf("dataset %s: %d vertices, %lld edges, %d features, %d classes\n",
+              ds.name.c_str(), ds.n_vertices(),
+              static_cast<long long>(ds.n_edges()), ds.n_features(),
+              ds.n_classes);
+
+  // 2. The paper's GCN: 3 layers, 16 hidden units.
+  GcnConfig cfg = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes,
+                                          /*epochs=*/20);
+  cfg.learning_rate = 0.3f;
+
+  // 3. Serial reference training.
+  SerialTrainer serial(ds, cfg);
+  const auto serial_metrics = serial.train();
+  std::printf("\nserial:      first-epoch loss %.4f -> last-epoch loss %.4f "
+              "(train acc %.3f)\n",
+              serial_metrics.front().loss, serial_metrics.back().loss,
+              serial_metrics.back().train_accuracy);
+
+  // 4. Distributed training: sparsity-aware 1D SpMM on 8 simulated GPUs,
+  //    graph partitioned by the volume-balancing (GVB-like) partitioner.
+  DistTrainerOptions opt;
+  opt.algo = DistAlgo::k1dSparse;
+  opt.partitioner = "gvb";
+  opt.p = 8;
+  opt.gcn = cfg;
+  opt.cost_model.volume_scale = ds.sim_scale;
+  const DistTrainerResult dist = train_distributed(ds, opt);
+  std::printf("distributed: first-epoch loss %.4f -> last-epoch loss %.4f "
+              "(train acc %.3f)\n",
+              dist.epochs.front().loss, dist.epochs.back().loss,
+              dist.epochs.back().train_accuracy);
+
+  // 5. What did it cost? Exact communication volumes + alpha-beta model.
+  std::printf("\nper-epoch communication:\n");
+  for (const auto& [phase, vol] : dist.phase_volumes) {
+    std::printf("  %-10s %8.3f MB in %.0f messages\n", phase.c_str(),
+                vol.megabytes_per_epoch, vol.messages_per_epoch);
+  }
+  std::printf("modeled epoch time on the paper's hardware: %.3f ms\n",
+              dist.modeled_epoch_seconds() * 1e3);
+  std::printf("partitioning took %.3f s (one-time, amortized over training)\n",
+              dist.partition_wall_seconds);
+
+  const double drift =
+      std::abs(dist.epochs.back().loss - serial_metrics.back().loss);
+  std::printf("\nserial vs distributed final-loss drift: %.2e %s\n", drift,
+              drift < 1e-2 ? "(OK: same math, different summation order)"
+                           : "(unexpectedly large!)");
+  return drift < 1e-2 ? 0 : 1;
+}

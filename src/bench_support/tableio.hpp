@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text table printing for the bench harness: every bench binary
+// prints the rows/series of the paper table or figure it regenerates, in a
+// aligned fixed-width format plus an optional CSV dump for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sagnn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience: formats doubles with `precision` significant
+  /// digits.
+  static std::string num(double v, int precision = 4);
+
+  /// Aligned fixed-width rendering.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering (headers + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("==== title ====") used between experiment
+/// blocks in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace sagnn

@@ -1,0 +1,69 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace sagnn {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SAGNN_CHECK(bound > 0);
+  // Lemire's multiply-shift rejection sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  // 53 high bits → uniform double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+real_t Rng::uniform(real_t lo, real_t hi) {
+  return lo + static_cast<real_t>(next_double()) * (hi - lo);
+}
+
+real_t Rng::normal() {
+  double u1 = next_double();
+  double u2 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<real_t>(r * std::cos(2.0 * M_PI * u2));
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ull * (stream_id + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace sagnn

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All stochastic pieces of the library (graph generators, weight init,
+// synthetic features, partitioner tie-breaking) draw from Xoshiro256**
+// seeded through SplitMix64, so that every experiment in bench/ is exactly
+// reproducible from its printed seed.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sagnn {
+
+/// SplitMix64: used to expand a single 64-bit seed into the Xoshiro state.
+/// Passes BigCrush when used directly; we use it only for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedbeefcafef00dull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) with Lemire's bounded-rejection method
+  /// (no modulo bias).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform real in [0, 1).
+  double next_double();
+
+  /// Uniform real in [lo, hi).
+  real_t uniform(real_t lo, real_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps the generator
+  /// state a pure function of the draw count).
+  real_t normal();
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Fork a statistically independent stream, e.g. one per rank/vertex.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace sagnn

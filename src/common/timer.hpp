@@ -1,0 +1,59 @@
+#pragma once
+// Timing utilities.
+//
+// The simulated cluster runs many "GPU ranks" as threads on few cores, so
+// wall-clock time on a rank thread is polluted by time-slicing. Compute
+// phases are therefore measured with the per-thread CPU clock
+// (CLOCK_THREAD_CPUTIME_ID), which only advances while *this* thread runs.
+// Communication time is never measured; it is modeled from recorded traffic
+// by simcomm::CostModel.
+
+#include <chrono>
+#include <cstdint>
+
+namespace sagnn {
+
+/// Monotonic wall-clock timer (for whole-program / harness timing).
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = clock_t::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock_t::now() - start_).count();
+  }
+
+ private:
+  using clock_t = std::chrono::steady_clock;
+  clock_t::time_point start_;
+};
+
+/// Per-thread CPU-time timer; immune to oversubscription.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+  void reset() { start_ = now(); }
+  /// CPU seconds consumed by the calling thread since reset().
+  double seconds() const { return now() - start_; }
+
+  /// Current per-thread CPU time in seconds.
+  static double now();
+
+ private:
+  double start_ = 0.0;
+};
+
+/// Accumulates named phase durations (e.g. "spmm", "pack").
+class PhaseAccumulator {
+ public:
+  void add(double seconds) { total_ += seconds; ++count_; }
+  double total() const { return total_; }
+  std::int64_t count() const { return count_; }
+  void reset() { total_ = 0.0; count_ = 0; }
+
+ private:
+  double total_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace sagnn

@@ -1,0 +1,58 @@
+#pragma once
+// Fundamental integer/floating types and error-checking macros shared by
+// every module of the library.
+//
+// Conventions (used consistently across sparse/, dense/, dist/, gnn/):
+//   vid_t    vertex / row / column id of the graph (fits 2^31 vertices)
+//   eid_t    edge / nonzero offset (CSR row pointers; may exceed 2^31)
+//   real_t   value type of all numeric matrices (float, as in GPU training)
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sagnn {
+
+using vid_t = std::int32_t;
+using eid_t = std::int64_t;
+using real_t = float;
+
+/// Thrown by SAGNN_CHECK / SAGNN_REQUIRE on contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+/// Internal invariant check; active in all build types. These guard logic
+/// errors inside the library itself.
+#define SAGNN_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::sagnn::detail::fail(#cond, __FILE__, __LINE__, std::string()); \
+  } while (0)
+
+/// Public-API precondition check with a caller-facing message.
+#define SAGNN_REQUIRE(cond, msg)                                \
+  do {                                                          \
+    if (!(cond))                                                \
+      ::sagnn::detail::fail(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// Integer ceiling division, used throughout block-distribution code.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,61 @@
+#include "dense/gemm.hpp"
+
+namespace sagnn {
+
+void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  SAGNN_REQUIRE(a.n_cols() == b.n_rows(), "GEMM: inner dimensions must agree");
+  SAGNN_REQUIRE(c.n_rows() == a.n_rows() && c.n_cols() == b.n_cols(),
+                "GEMM: C shape mismatch");
+  const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_cols();
+  for (vid_t i = 0; i < m; ++i) {
+    const real_t* ai = a.row(i);
+    real_t* ci = c.row(i);
+    // ikj order: streams through B rows, C row stays hot.
+    for (vid_t p = 0; p < n; ++p) {
+      const real_t aip = ai[p];
+      const real_t* bp = b.row(p);
+      for (vid_t j = 0; j < k; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.n_rows(), b.n_cols());
+  gemm_accumulate(a, b, c);
+  return c;
+}
+
+Matrix gemm_at_b(const Matrix& a, const Matrix& b) {
+  SAGNN_REQUIRE(a.n_rows() == b.n_rows(), "A^T B: row counts must agree");
+  const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_cols();
+  Matrix c(n, k);
+  for (vid_t i = 0; i < m; ++i) {
+    const real_t* ai = a.row(i);
+    const real_t* bi = b.row(i);
+    for (vid_t p = 0; p < n; ++p) {
+      const real_t aip = ai[p];
+      real_t* cp = c.row(p);
+      for (vid_t j = 0; j < k; ++j) cp[j] += aip * bi[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_a_bt(const Matrix& a, const Matrix& b) {
+  SAGNN_REQUIRE(a.n_cols() == b.n_cols(), "A B^T: col counts must agree");
+  const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_rows();
+  Matrix c(m, k);
+  for (vid_t i = 0; i < m; ++i) {
+    const real_t* ai = a.row(i);
+    real_t* ci = c.row(i);
+    for (vid_t j = 0; j < k; ++j) {
+      const real_t* bj = b.row(j);
+      real_t acc = 0;
+      for (vid_t p = 0; p < n; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,23 @@
+#pragma once
+// Small dense GEMM kernels. GCN multiplies tall-skinny activations by small
+// f x f weight matrices, so a straightforward register-blocked loop nest is
+// adequate; no external BLAS dependency.
+
+#include "dense/matrix.hpp"
+
+namespace sagnn {
+
+/// C = A * B.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// C += A * B.
+void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B  (A is m x n -> C is n x k). Used for the weight-gradient
+/// outer product Y = H^T (A G).
+Matrix gemm_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T  (B is k x n -> C is m x k). Used for G W^T in backprop.
+Matrix gemm_a_bt(const Matrix& a, const Matrix& b);
+
+}  // namespace sagnn

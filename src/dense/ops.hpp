@@ -1,0 +1,47 @@
+#pragma once
+// Elementwise and row-wise dense operations used by GCN training:
+// activation sigma, its derivative, Hadamard products, row-softmax.
+
+#include "dense/matrix.hpp"
+
+namespace sagnn {
+
+/// H = relu(Z), elementwise max(0, z).
+Matrix relu(const Matrix& z);
+
+/// D = relu'(Z): 1 where z > 0 else 0.
+Matrix relu_grad(const Matrix& z);
+
+/// Elementwise product C = A ⊙ B.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// In-place C ⊙= B.
+void hadamard_inplace(Matrix& c, const Matrix& b);
+
+/// A += B.
+void add_inplace(Matrix& a, const Matrix& b);
+
+/// A -= scale * B (SGD update step primitive).
+void axpy_inplace(Matrix& a, const Matrix& b, real_t scale);
+
+/// Row-wise softmax with the max-subtraction trick for stability.
+Matrix row_softmax(const Matrix& z);
+
+/// argmax per row (predicted class ids).
+std::vector<vid_t> row_argmax(const Matrix& z);
+
+/// Inverted dropout on rows [row_offset, row_offset + m.n_rows()) of a
+/// logically-global matrix: element (r, c) is zeroed with probability p and
+/// survivors are scaled by 1/(1-p). The mask depends only on
+/// (seed, global row, column), NOT on which rank evaluates it — the
+/// property that keeps distributed training bit-compatible with serial.
+void dropout_rows_deterministic(Matrix& m, real_t p, std::uint64_t seed,
+                                vid_t row_offset);
+
+/// Same, but with an explicit identity per row (e.g. ORIGINAL vertex ids
+/// after a partitioner permutation). Both overloads agree when
+/// row_ids[i] == row_offset + i.
+void dropout_rows_deterministic(Matrix& m, real_t p, std::uint64_t seed,
+                                std::span<const vid_t> row_ids);
+
+}  // namespace sagnn

@@ -1,0 +1,79 @@
+#pragma once
+// Distributed full-graph GCN training on the simulated cluster.
+//
+// This is the top-level reproduction driver: pick a dataset, a SpMM
+// algorithm (1D/1.5D x oblivious/sparsity-aware), a partitioner
+// (block/random/metis-like/gvb-like) and a process count, and it
+//   1. partitions & symmetrically permutes Â (and H rows, labels, masks),
+//   2. spins up P rank-threads, builds the per-rank distributed matrices
+//      (setup traffic is recorded separately and excluded from epoch cost,
+//      as the paper excludes preprocessing),
+//   3. trains the 3-layer GCN for E epochs with replicated weights,
+//   4. returns per-epoch metrics, exact per-phase communication volumes,
+//      the alpha-beta modeled epoch time breakdown, and partition quality
+//      statistics.
+
+#include <map>
+#include <string>
+
+#include "gnn/serial_trainer.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "simcomm/cost_model.hpp"
+
+namespace sagnn {
+
+enum class DistAlgo {
+  k1dOblivious,   ///< CAGNET baseline: bcast whole H blocks
+  k1dSparse,      ///< paper's 1D sparsity-aware (Algorithm 1)
+  k15dOblivious,  ///< CAGNET 1.5D with replication factor c
+  k15dSparse,     ///< paper's 1.5D sparsity-aware (Algorithm 2)
+  k2dOblivious,   ///< SUMMA-style 2D (CAGNET's less-performant variant)
+  k2dSparse,      ///< 2D with the sparsity-aware working-set reduction
+};
+
+const char* to_string(DistAlgo algo);
+bool is_15d(DistAlgo algo);
+bool is_2d(DistAlgo algo);
+
+struct DistTrainerOptions {
+  DistAlgo algo = DistAlgo::k1dSparse;
+  int p = 4;                        ///< simulated GPU count
+  int c = 1;                        ///< replication factor (1.5D only)
+  std::string partitioner = "block";  ///< block | random | metis | gvb
+  PartitionerOptions partitioner_options;
+  GcnConfig gcn;
+  CostModel cost_model;
+};
+
+struct PhaseVolume {
+  double megabytes_per_epoch = 0;
+  double messages_per_epoch = 0;
+};
+
+struct DistTrainerResult {
+  std::vector<EpochMetrics> epochs;
+
+  /// alpha-beta modeled time for ONE epoch, split by phase (Fig. 3/4/7).
+  EpochCost modeled_epoch;
+
+  /// Exact per-phase communication per epoch, from recorded traffic.
+  std::map<std::string, PhaseVolume> phase_volumes;
+
+  /// Predicted sparsity-aware volumes from (matrix, partition) alone
+  /// (Table 2); cross-checkable against phase_volumes["alltoall"].
+  VolumeStats volume_model;
+
+  double partition_wall_seconds = 0;
+  double setup_megabytes = 0;  ///< one-time index-exchange volume
+  double max_rank_cpu_seconds_per_epoch = 0;  ///< unscaled compute bottleneck
+
+  double modeled_epoch_seconds() const { return modeled_epoch.total(); }
+};
+
+/// Run a full distributed training job. Collectives inside require
+/// p >= 1; 1.5D algorithms need c^2 | p; 2D algorithms need a square p.
+DistTrainerResult train_distributed(const Dataset& dataset,
+                                    const DistTrainerOptions& options);
+
+}  // namespace sagnn

@@ -1,0 +1,48 @@
+#include "gnn/loss.hpp"
+
+#include <cmath>
+
+namespace sagnn {
+
+LossStats softmax_xent_stats(const Matrix& logits, std::span<const vid_t> labels,
+                             std::span<const std::uint8_t> mask) {
+  SAGNN_REQUIRE(labels.size() == static_cast<std::size_t>(logits.n_rows()) &&
+                    mask.size() == labels.size(),
+                "labels/mask must have one entry per logits row");
+  LossStats stats;
+  const Matrix probs = row_softmax(logits);
+  for (vid_t r = 0; r < logits.n_rows(); ++r) {
+    if (!mask[static_cast<std::size_t>(r)]) continue;
+    const vid_t y = labels[static_cast<std::size_t>(r)];
+    SAGNN_REQUIRE(y >= 0 && y < logits.n_cols(), "label out of class range");
+    const double py = std::max(static_cast<double>(probs(r, y)), 1e-30);
+    stats.loss_sum += -std::log(py);
+    ++stats.count;
+    const real_t* pr = probs.row(r);
+    vid_t best = 0;
+    for (vid_t j = 1; j < logits.n_cols(); ++j) {
+      if (pr[j] > pr[best]) best = j;
+    }
+    if (best == y) ++stats.correct;
+  }
+  return stats;
+}
+
+Matrix softmax_xent_grad(const Matrix& logits, std::span<const vid_t> labels,
+                         std::span<const std::uint8_t> mask,
+                         std::int64_t total_count) {
+  SAGNN_REQUIRE(total_count > 0, "gradient needs at least one masked row");
+  Matrix grad(logits.n_rows(), logits.n_cols());
+  const Matrix probs = row_softmax(logits);
+  const real_t inv = real_t{1} / static_cast<real_t>(total_count);
+  for (vid_t r = 0; r < logits.n_rows(); ++r) {
+    if (!mask[static_cast<std::size_t>(r)]) continue;
+    const real_t* pr = probs.row(r);
+    real_t* gr = grad.row(r);
+    for (vid_t j = 0; j < logits.n_cols(); ++j) gr[j] = pr[j] * inv;
+    gr[labels[static_cast<std::size_t>(r)]] -= inv;
+  }
+  return grad;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,36 @@
+#pragma once
+// Masked softmax cross-entropy for semi-supervised node classification.
+// Works on a (local block of) logits with the matching label/mask slices;
+// the distributed trainer all-reduces the (loss_sum, correct, count)
+// triple so every rank sees the global metrics.
+
+#include <span>
+
+#include "dense/matrix.hpp"
+#include "dense/ops.hpp"
+
+namespace sagnn {
+
+struct LossStats {
+  double loss_sum = 0;     ///< sum of -log p[label] over masked rows
+  std::int64_t correct = 0;  ///< masked rows where argmax == label
+  std::int64_t count = 0;    ///< number of masked rows
+
+  double mean_loss() const { return count > 0 ? loss_sum / count : 0.0; }
+  double accuracy() const {
+    return count > 0 ? static_cast<double>(correct) / count : 0.0;
+  }
+};
+
+/// Forward statistics over the masked rows of `logits`.
+LossStats softmax_xent_stats(const Matrix& logits, std::span<const vid_t> labels,
+                             std::span<const std::uint8_t> mask);
+
+/// Gradient of mean masked cross-entropy wrt logits: (softmax - onehot) /
+/// total_count on masked rows, zero elsewhere. `total_count` is the GLOBAL
+/// number of masked rows (pass LossStats::count for serial use).
+Matrix softmax_xent_grad(const Matrix& logits, std::span<const vid_t> labels,
+                         std::span<const std::uint8_t> mask,
+                         std::int64_t total_count);
+
+}  // namespace sagnn

@@ -1,0 +1,32 @@
+#include "gnn/optimizer.hpp"
+
+#include <cmath>
+
+namespace sagnn {
+
+void Adam::step(std::size_t slot, Matrix& w, const Matrix& grad) {
+  if (slots_.size() <= slot) slots_.resize(slot + 1);
+  Moments& mom = slots_[slot];
+  if (mom.m.size() == 0) {
+    mom.m = Matrix(w.n_rows(), w.n_cols());
+    mom.v = Matrix(w.n_rows(), w.n_cols());
+  }
+  SAGNN_REQUIRE(grad.n_rows() == w.n_rows() && grad.n_cols() == w.n_cols(),
+                "Adam gradient shape mismatch");
+  ++mom.t;
+  const real_t bc1 = real_t{1} - std::pow(beta1_, static_cast<real_t>(mom.t));
+  const real_t bc2 = real_t{1} - std::pow(beta2_, static_cast<real_t>(mom.t));
+  real_t* wm = w.data();
+  real_t* m = mom.m.data();
+  real_t* v = mom.v.data();
+  const real_t* g = grad.data();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    m[i] = beta1_ * m[i] + (real_t{1} - beta1_) * g[i];
+    v[i] = beta2_ * v[i] + (real_t{1} - beta2_) * g[i] * g[i];
+    const real_t mhat = m[i] / bc1;
+    const real_t vhat = v[i] / bc2;
+    wm[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace sagnn

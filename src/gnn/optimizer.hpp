@@ -1,0 +1,43 @@
+#pragma once
+// Optimizers for the GCN weights. SGD matches the paper's update
+// W^{l} <- W^{l} - Y^{l}; Adam is provided for users who want the usual
+// GCN training recipe. Both are deterministic and rank-replicable: given
+// identical gradients on every rank they produce identical weights.
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "dense/ops.hpp"
+
+namespace sagnn {
+
+class Sgd {
+ public:
+  explicit Sgd(real_t lr) : lr_(lr) {}
+  real_t lr() const { return lr_; }
+  void step(Matrix& w, const Matrix& grad) { axpy_inplace(w, grad, lr_); }
+
+ private:
+  real_t lr_;
+};
+
+class Adam {
+ public:
+  explicit Adam(real_t lr, real_t beta1 = 0.9f, real_t beta2 = 0.999f,
+                real_t eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  /// `slot` identifies the parameter (one moment pair per slot).
+  void step(std::size_t slot, Matrix& w, const Matrix& grad);
+
+ private:
+  struct Moments {
+    Matrix m;
+    Matrix v;
+    std::int64_t t = 0;
+  };
+  real_t lr_, beta1_, beta2_, eps_;
+  std::vector<Moments> slots_;
+};
+
+}  // namespace sagnn

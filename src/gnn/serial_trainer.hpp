@@ -1,0 +1,44 @@
+#pragma once
+// Single-process full-graph GCN trainer: the numerical reference every
+// distributed configuration is property-tested against, and the baseline
+// for accuracy-parity claims (paper §6.2: sparsity-aware training changes
+// communication, not math).
+
+#include <vector>
+
+#include "gnn/loss.hpp"
+#include "gnn/model.hpp"
+#include "graph/datasets.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+
+struct EpochMetrics {
+  double loss = 0;
+  double train_accuracy = 0;
+};
+
+class SerialTrainer {
+ public:
+  SerialTrainer(const Dataset& dataset, GcnConfig config);
+
+  /// One full-batch epoch: forward, loss, backward, SGD step.
+  EpochMetrics run_epoch();
+
+  /// Run config.epochs epochs.
+  std::vector<EpochMetrics> train();
+
+  /// Forward pass only; returns the logits (used by tests/examples).
+  Matrix forward();
+
+  const GcnModel& model() const { return model_; }
+  GcnModel& model_mut() { return model_; }
+
+ private:
+  const Dataset& dataset_;
+  GcnConfig config_;
+  GcnModel model_;
+  int epoch_ = 0;  ///< epochs completed; drives the per-epoch dropout seed
+};
+
+}  // namespace sagnn

@@ -1,0 +1,80 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/generators.hpp"
+
+namespace sagnn {
+
+std::vector<vid_t> connected_components(const CsrMatrix& adj) {
+  SAGNN_REQUIRE(adj.n_rows() == adj.n_cols(),
+                "connected components need a square adjacency");
+  const vid_t n = adj.n_rows();
+  std::vector<vid_t> component(static_cast<std::size_t>(n), -1);
+  vid_t next_id = 0;
+  std::deque<vid_t> queue;
+  for (vid_t seed = 0; seed < n; ++seed) {
+    if (component[static_cast<std::size_t>(seed)] != -1) continue;
+    component[static_cast<std::size_t>(seed)] = next_id;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const vid_t v = queue.front();
+      queue.pop_front();
+      for (vid_t u : adj.row_cols(v)) {
+        if (component[static_cast<std::size_t>(u)] == -1) {
+          component[static_cast<std::size_t>(u)] = next_id;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+vid_t count_components(const std::vector<vid_t>& components) {
+  vid_t mx = -1;
+  for (vid_t c : components) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+std::vector<eid_t> degree_histogram_log2(const CsrMatrix& adj) {
+  std::vector<eid_t> hist;
+  for (vid_t v = 0; v < adj.n_rows(); ++v) {
+    const eid_t deg = adj.row_nnz(v);
+    int bucket = 0;
+    for (eid_t d = deg; d > 1; d >>= 1) ++bucket;
+    if (static_cast<std::size_t>(bucket) >= hist.size()) {
+      hist.resize(static_cast<std::size_t>(bucket) + 1, 0);
+    }
+    ++hist[static_cast<std::size_t>(bucket)];
+  }
+  return hist;
+}
+
+double degree_skew(const CsrMatrix& adj) {
+  const DegreeStats st = degree_stats(adj);
+  return st.avg > 0 ? static_cast<double>(st.max) / st.avg : 0.0;
+}
+
+double internal_edge_fraction(const CsrMatrix& adj,
+                              const std::vector<vid_t>& membership) {
+  SAGNN_REQUIRE(membership.size() == static_cast<std::size_t>(adj.n_rows()),
+                "membership size mismatch");
+  eid_t internal = 0, total = 0;
+  for (vid_t v = 0; v < adj.n_rows(); ++v) {
+    for (vid_t u : adj.row_cols(v)) {
+      if (u <= v) continue;  // count undirected edges once; skip self loops
+      ++total;
+      if (membership[static_cast<std::size_t>(v)] ==
+          membership[static_cast<std::size_t>(u)]) {
+        ++internal;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(internal) / static_cast<double>(total)
+                   : 1.0;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,34 @@
+#pragma once
+// Structural graph analysis used by dataset reporting, partitioner
+// diagnostics, and tests: connected components, degree distributions, and
+// clustering-quality measures that explain why a graph is (or is not)
+// partitionable — the property separating the paper's Protein results from
+// its Amazon results.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// Connected components of a symmetric graph: returns the component id of
+/// each vertex (ids are dense, in discovery order) via BFS.
+std::vector<vid_t> connected_components(const CsrMatrix& adj);
+
+/// Number of distinct values in a component labeling.
+vid_t count_components(const std::vector<vid_t>& components);
+
+/// log2-bucketed degree histogram: bucket[i] counts vertices whose degree
+/// d satisfies 2^i <= d < 2^(i+1); bucket 0 also counts degree-0/1.
+std::vector<eid_t> degree_histogram_log2(const CsrMatrix& adj);
+
+/// Degree skew: max degree divided by average degree. ~1 for regular
+/// graphs; large for hub-heavy graphs (the Table 2 imbalance driver).
+double degree_skew(const CsrMatrix& adj);
+
+/// Fraction of edges whose endpoints share a `membership` label — e.g. how
+/// much of the graph a partition keeps internal (1 - cut fraction).
+double internal_edge_fraction(const CsrMatrix& adj,
+                              const std::vector<vid_t>& membership);
+
+}  // namespace sagnn

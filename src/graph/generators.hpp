@@ -1,0 +1,79 @@
+#pragma once
+// Synthetic graph generators. These provide scaled analogues of the paper's
+// four datasets (Table 3), parameterized to reproduce the structural
+// properties the evaluation depends on:
+//   * R-MAT          — skewed/irregular degree structure (Reddit, Amazon,
+//                      Papers analogues); high communication imbalance.
+//   * Erdős–Rényi    — unstructured baseline for tests.
+//   * clustered      — strong community structure with light inter-cluster
+//                      coupling (Protein analogue); a good partitioner can
+//                      drive the edgecut to nearly zero, which is what makes
+//                      SA+GVB 14x faster at high process counts in Fig. 3.
+//
+// All generators return symmetric simple graphs (no self loops) as COO and
+// are deterministic in the provided RNG.
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// G(n, m): sample m undirected edges uniformly (with replacement, then
+/// dedup), symmetrize, drop self-loops.
+CooMatrix erdos_renyi(vid_t n, eid_t m, Rng& rng);
+
+/// R-MAT parameters; defaults are the Graph500 values (a=0.57, b=c=0.19).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  bool scramble_ids = true;  ///< random vertex relabeling (kills locality)
+};
+
+/// R-MAT graph with 2^scale vertices and edge_factor * 2^scale undirected
+/// edges (before dedup). Output is symmetrized and loop-free.
+CooMatrix rmat(int scale, int edge_factor, Rng& rng, RmatParams params = {});
+
+/// Clustered ("protein-like") graph: n vertices in n/cluster_size clusters;
+/// each vertex draws ~intra_degree neighbors inside its cluster and with
+/// probability inter_fraction one neighbor from an adjacent cluster.
+/// Vertex ids are scrambled so that a plain block distribution does NOT see
+/// the structure — the partitioner must recover it. If `cluster_of` is
+/// non-null it receives each (possibly scrambled) vertex's home cluster id,
+/// usable as community labels.
+CooMatrix clustered_graph(vid_t n, vid_t cluster_size, int intra_degree,
+                          double inter_fraction, Rng& rng,
+                          bool scramble_ids = true,
+                          std::vector<vid_t>* cluster_of = nullptr);
+
+/// Hybrid community + hub graph ("amazon-like"): a clustered base graph
+/// (partitioner-recoverable structure) overlaid with R-MAT edges (skewed
+/// hub degrees). This combination reproduces the two properties the
+/// paper's Amazon evaluation rests on simultaneously: graph partitioning
+/// helps a lot, AND the per-part send volumes are badly imbalanced because
+/// hub rows must be sent to many parts (Table 2's rising imbalance).
+/// `overlay_edge_factor` R-MAT edges per vertex are added on top of the
+/// clustered edges before a single consistent scramble.
+CooMatrix hybrid_community_graph(vid_t n, vid_t cluster_size, int intra_degree,
+                                 int overlay_edge_factor, Rng& rng,
+                                 bool scramble_ids = true,
+                                 std::vector<vid_t>* cluster_of = nullptr);
+
+/// Ring of cliques: k cliques of size s, consecutive cliques joined by one
+/// edge. Deterministic; used by partitioner unit tests (known optimum).
+CooMatrix ring_of_cliques(int k, int s);
+
+/// 2D grid graph (rows x cols, 4-neighborhood). Deterministic; regular.
+CooMatrix grid_graph(vid_t rows, vid_t cols);
+
+/// Degree statistics of a symmetric CSR (for Table 3-style reporting).
+struct DegreeStats {
+  double avg = 0;
+  vid_t max = 0;
+  vid_t min = 0;
+};
+DegreeStats degree_stats(const CsrMatrix& a);
+
+}  // namespace sagnn

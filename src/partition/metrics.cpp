@@ -1,0 +1,97 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+
+namespace sagnn {
+
+std::uint64_t VolumeStats::send_rows(int j) const {
+  std::uint64_t acc = 0;
+  for (int i = 0; i < k; ++i) acc += pair_rows[static_cast<std::size_t>(j) * k + i];
+  return acc;
+}
+
+std::uint64_t VolumeStats::recv_rows(int i) const {
+  std::uint64_t acc = 0;
+  for (int j = 0; j < k; ++j) acc += pair_rows[static_cast<std::size_t>(j) * k + i];
+  return acc;
+}
+
+std::uint64_t VolumeStats::total_rows() const {
+  std::uint64_t acc = 0;
+  for (auto v : pair_rows) acc += v;
+  return acc;
+}
+
+std::uint64_t VolumeStats::max_send_rows() const {
+  std::uint64_t m = 0;
+  for (int j = 0; j < k; ++j) m = std::max(m, send_rows(j));
+  return m;
+}
+
+double VolumeStats::avg_send_rows() const {
+  return k > 0 ? static_cast<double>(total_rows()) / k : 0.0;
+}
+
+double VolumeStats::send_imbalance_percent() const {
+  const double avg = avg_send_rows();
+  if (avg <= 0) return 0.0;
+  return (static_cast<double>(max_send_rows()) / avg - 1.0) * 100.0;
+}
+
+double VolumeStats::total_megabytes(vid_t f) const {
+  return static_cast<double>(total_rows()) * f * sizeof(real_t) / 1.0e6;
+}
+double VolumeStats::avg_send_megabytes(vid_t f) const {
+  return avg_send_rows() * f * sizeof(real_t) / 1.0e6;
+}
+double VolumeStats::max_send_megabytes(vid_t f) const {
+  return static_cast<double>(max_send_rows()) * f * sizeof(real_t) / 1.0e6;
+}
+
+VolumeStats compute_volume_stats(const CsrMatrix& adj, const Partition& partition) {
+  SAGNN_REQUIRE(adj.n_rows() == adj.n_cols(), "adjacency must be square");
+  SAGNN_REQUIRE(partition.n() == adj.n_rows(), "partition size mismatch");
+  const int k = partition.k;
+  VolumeStats stats;
+  stats.k = k;
+  stats.pair_rows.assign(static_cast<std::size_t>(k) * k, 0);
+
+  // For each vertex v: find the distinct parts among its neighbors; v's row
+  // of H is sent from part(v) to each such part != part(v).
+  std::vector<bool> touched(static_cast<std::size_t>(k), false);
+  std::vector<int> touch_list;
+  for (vid_t v = 0; v < adj.n_rows(); ++v) {
+    const int pv = partition.part_of[static_cast<std::size_t>(v)];
+    touch_list.clear();
+    for (vid_t u : adj.row_cols(v)) {
+      const int pu = partition.part_of[static_cast<std::size_t>(u)];
+      if (!touched[static_cast<std::size_t>(pu)]) {
+        touched[static_cast<std::size_t>(pu)] = true;
+        touch_list.push_back(pu);
+      }
+      if (pu != pv && u > v) ++stats.edgecut;
+    }
+    for (int pu : touch_list) {
+      touched[static_cast<std::size_t>(pu)] = false;
+      if (pu != pv) {
+        ++stats.pair_rows[static_cast<std::size_t>(pv) * k + pu];
+      }
+    }
+  }
+  return stats;
+}
+
+double compute_load_imbalance(const CsrMatrix& adj, const Partition& partition) {
+  const int k = partition.k;
+  std::vector<std::uint64_t> nnz(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < adj.n_rows(); ++v) {
+    nnz[static_cast<std::size_t>(partition.part_of[static_cast<std::size_t>(v)])] +=
+        static_cast<std::uint64_t>(adj.row_nnz(v));
+  }
+  const double avg = static_cast<double>(adj.nnz()) / k;
+  std::uint64_t mx = 0;
+  for (auto x : nnz) mx = std::max(mx, x);
+  return avg > 0 ? static_cast<double>(mx) / avg : 1.0;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,105 @@
+#pragma once
+// Graph partitioning interfaces (paper §5).
+//
+// A Partition assigns every vertex to one of k parts. Training relabels
+// vertices so each part is a contiguous block of rows (paper §6.3.1); the
+// relabeling permutation is derived here.
+//
+// Partitioners provided:
+//   BlockPartitioner     n/k contiguous rows per part (no reordering) —
+//                        the plain 1D block distribution.
+//   RandomPartitioner    random permutation then block distribution — the
+//                        "good load balance, bad communication" baseline.
+//   EdgeCutPartitioner   from-scratch multilevel partitioner minimizing
+//                        total edgecut (METIS analogue).
+//   GvbPartitioner       volume-balancing partitioner minimizing maximum
+//                        per-part send volume AND total volume
+//                        (Graph-VB analogue, Acer et al. [2]).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+struct Partition {
+  int k = 1;
+  std::vector<vid_t> part_of;  ///< vertex -> part id in [0, k)
+
+  vid_t n() const { return static_cast<vid_t>(part_of.size()); }
+
+  /// Number of vertices in each part.
+  std::vector<vid_t> part_sizes() const;
+
+  /// Permutation perm[old_id] = new_id making parts contiguous and
+  /// preserving relative order within each part.
+  std::vector<vid_t> relabel_permutation() const;
+
+  /// Throws unless every part id is in range and every part is non-empty
+  /// (k <= n assumed).
+  void validate() const;
+};
+
+/// Common knobs for the optimizing partitioners.
+struct PartitionerOptions {
+  double epsilon = 0.10;     ///< load-balance tolerance: w(part) <= (1+eps)*avg
+  bool balance_edges = true; ///< balance nnz (compute load) instead of vertices
+  int refine_passes = 8;     ///< max refinement passes per level
+  std::uint64_t seed = 0x5a5a5a5aull;
+  vid_t coarsen_target_per_part = 30;  ///< stop coarsening near k*this vertices
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::string name() const = 0;
+  /// Partition the symmetric adjacency `adj` into k parts.
+  virtual Partition partition(const CsrMatrix& adj, int k) const = 0;
+};
+
+class BlockPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "block"; }
+  Partition partition(const CsrMatrix& adj, int k) const override;
+};
+
+class RandomPartitioner final : public Partitioner {
+ public:
+  explicit RandomPartitioner(std::uint64_t seed = 0xabcdef12ull) : seed_(seed) {}
+  std::string name() const override { return "random"; }
+  Partition partition(const CsrMatrix& adj, int k) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class EdgeCutPartitioner final : public Partitioner {
+ public:
+  explicit EdgeCutPartitioner(PartitionerOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "edgecut(metis-like)"; }
+  Partition partition(const CsrMatrix& adj, int k) const override;
+  const PartitionerOptions& options() const { return opts_; }
+
+ private:
+  PartitionerOptions opts_;
+};
+
+class GvbPartitioner final : public Partitioner {
+ public:
+  explicit GvbPartitioner(PartitionerOptions opts = {}) : opts_(opts) {}
+  std::string name() const override { return "gvb(volume-balancing)"; }
+  Partition partition(const CsrMatrix& adj, int k) const override;
+  const PartitionerOptions& options() const { return opts_; }
+
+ private:
+  PartitionerOptions opts_;
+};
+
+/// Factory by name: "block" | "random" | "metis" | "gvb".
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name,
+                                              PartitionerOptions opts = {});
+
+}  // namespace sagnn

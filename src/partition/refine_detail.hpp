@@ -1,0 +1,33 @@
+#pragma once
+// Internal shared structures of the partitioners (multilevel.cpp, gvb.cpp).
+// Not part of the public API.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/partition.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn::partition_detail {
+
+/// Weighted graph in adjacency-array form used inside the partitioners.
+struct PGraph {
+  vid_t n = 0;
+  std::vector<eid_t> xadj;
+  std::vector<vid_t> adjncy;
+  std::vector<std::int64_t> adjwgt;
+  std::vector<std::int64_t> vwgt;
+  std::int64_t total_vwgt = 0;
+};
+
+PGraph build_base_graph(const CsrMatrix& adj, bool balance_edges);
+PGraph coarsen_once(const PGraph& g, Rng& rng, std::vector<vid_t>& cmap);
+void initial_partition(const PGraph& g, int k, Rng& rng, std::vector<vid_t>& part);
+void refine_edgecut(const PGraph& g, int k, double eps, int passes, Rng& rng,
+                    std::vector<vid_t>& part);
+void fix_empty_parts(const PGraph& g, int k, std::vector<vid_t>& part);
+std::vector<vid_t> multilevel_edgecut(const CsrMatrix& adj, int k,
+                                      const PartitionerOptions& opts);
+
+}  // namespace sagnn::partition_detail

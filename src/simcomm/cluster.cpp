@@ -1,0 +1,49 @@
+#include "simcomm/cluster.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace sagnn {
+
+void Cluster::run(const std::function<void(Comm&)>& fn) {
+  const int p = world_.size();
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      try {
+        Comm comm(world_, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Unblock every rank waiting on a message from us; they will fail
+        // with AbortedError instead of deadlocking.
+        world_.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Prefer the root-cause error over secondary AbortedErrors.
+  std::exception_ptr aborted;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortedError&) {
+      aborted = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (aborted) std::rethrow_exception(aborted);
+}
+
+TrafficRecorder run_spmd(int p, const std::function<void(Comm&)>& fn) {
+  Cluster cluster(p);
+  cluster.run(fn);
+  return cluster.traffic();
+}
+
+}  // namespace sagnn

@@ -1,0 +1,33 @@
+#pragma once
+// SPMD launcher: runs one std::thread per simulated GPU rank and hands each
+// a world Comm. Exceptions thrown by any rank are captured and rethrown on
+// the caller thread after all ranks have been joined, so a failing rank
+// cannot deadlock the harness.
+
+#include <functional>
+
+#include "simcomm/comm.hpp"
+
+namespace sagnn {
+
+class Cluster {
+ public:
+  explicit Cluster(int p) : world_(p) {}
+
+  int p() const { return world_.size(); }
+  CommWorld& world() { return world_; }
+  TrafficRecorder& traffic() { return world_.traffic(); }
+
+  /// Run `fn(comm)` on every rank; returns when all ranks finish. Rethrows
+  /// the first rank exception (by rank order) if any occurred.
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  CommWorld world_;
+};
+
+/// One-shot convenience: build a cluster of size p, run fn, return the
+/// recorded traffic.
+TrafficRecorder run_spmd(int p, const std::function<void(Comm&)>& fn);
+
+}  // namespace sagnn

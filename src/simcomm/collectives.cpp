@@ -1,0 +1,10 @@
+// Collectives are header-only templates (collectives.hpp). This TU exists
+// to give the header a home in the build graph and to host non-template
+// helpers if they appear later.
+#include "simcomm/collectives.hpp"
+
+namespace sagnn {
+namespace coll_detail {
+// Intentionally empty.
+}
+}  // namespace sagnn

@@ -1,0 +1,212 @@
+#pragma once
+// Collective operations over a Comm, built from point-to-point messages the
+// same way NCCL composes them from ncclSend/ncclRecv (paper §6.2):
+//
+//   bcast          binomial tree
+//   reduce_sum     binomial tree (reverse bcast)
+//   allreduce_sum  ring reduce-scatter + ring all-gather (bandwidth optimal)
+//   allgatherv     ring with variable-size blocks
+//   alltoallv      grouped pairwise exchange, exactly the
+//                  ncclGroupStart/ncclSend/ncclRecv/ncclGroupEnd pattern
+//   gatherv        point-to-point funnel into the root
+//
+// Every operation takes a `phase` label under which its traffic is recorded,
+// so bench harnesses can attribute bytes to "bcast" vs "alltoall" vs
+// "allreduce" like the paper's Figure 4 breakdown.
+//
+// Collective calls must be made by ALL members of the communicator in the
+// same order (standard SPMD contract). Tags are derived from a per-call
+// user-supplied `tag` (default per-op bases) so back-to-back collectives of
+// the same kind do not cross-match; all ops fully synchronize matching
+// sends/recvs, so reusing a base tag across calls is safe.
+
+#include <numeric>
+#include <vector>
+
+#include "simcomm/comm.hpp"
+
+namespace sagnn {
+
+namespace coll_detail {
+inline constexpr long kBcastTag = 1L << 20;
+inline constexpr long kReduceTag = 2L << 20;
+inline constexpr long kAllreduceTag = 3L << 20;
+inline constexpr long kAllgatherTag = 4L << 20;
+inline constexpr long kAlltoallTag = 5L << 20;
+inline constexpr long kGatherTag = 6L << 20;
+}  // namespace coll_detail
+
+/// Binomial-tree broadcast. All ranks must pass a `data` buffer of the same
+/// element count; on return every rank holds root's contents.
+template <typename T>
+void bcast(Comm& comm, int root, std::vector<T>& data,
+           const std::string& phase = "bcast") {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int relative = (comm.rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int src = (relative - mask + root) % p;
+      data = comm.recv<T>(src, coll_detail::kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // `mask` is now the bit on which this rank received (or >= p for the
+  // root); forward to children at strictly smaller offsets.
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const int dst = (relative + mask + root) % p;
+      comm.send<T>(dst, coll_detail::kBcastTag, std::span<const T>(data), phase);
+    }
+    mask >>= 1;
+  }
+}
+
+/// Binomial-tree sum-reduction into `data` on the root; other ranks' buffers
+/// are left in an unspecified partially-reduced state.
+template <typename T>
+void reduce_sum(Comm& comm, int root, std::vector<T>& data,
+                const std::string& phase = "reduce") {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int relative = (comm.rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int dst = (relative - mask + root) % p;
+      comm.send<T>(dst, coll_detail::kReduceTag, std::span<const T>(data), phase);
+      break;
+    }
+    if (relative + mask < p) {
+      const int src = (relative + mask + root) % p;
+      auto incoming = comm.recv<T>(src, coll_detail::kReduceTag);
+      SAGNN_REQUIRE(incoming.size() == data.size(), "reduce size mismatch");
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+    mask <<= 1;
+  }
+}
+
+/// Ring all-reduce (reduce-scatter then all-gather). Bandwidth-optimal:
+/// each rank sends ~2 * data_size bytes total regardless of p.
+template <typename T>
+void allreduce_sum(Comm& comm, std::span<T> data,
+                   const std::string& phase = "allreduce") {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int me = comm.rank();
+  const int next = (me + 1) % p;
+  const int prev = (me - 1 + p) % p;
+
+  // Chunk boundaries: p near-equal contiguous slices of `data`.
+  const std::size_t n = data.size();
+  auto chunk_begin = [&](int c) {
+    return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(p);
+  };
+  auto chunk = [&](int c) {
+    return data.subspan(chunk_begin(c), chunk_begin(c + 1) - chunk_begin(c));
+  };
+
+  // Reduce-scatter: after p-1 steps, rank r owns the fully reduced chunk
+  // (r + 1) % p.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_c = (me - s + p) % p;
+    const int recv_c = (me - s - 1 + p) % p;
+    comm.send<T>(next, coll_detail::kAllreduceTag + s, std::span<const T>(chunk(send_c)),
+                 phase);
+    auto incoming = comm.recv<T>(prev, coll_detail::kAllreduceTag + s);
+    auto dst = chunk(recv_c);
+    SAGNN_CHECK(incoming.size() == dst.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += incoming[i];
+  }
+  // All-gather the reduced chunks around the ring.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_c = (me - s + 1 + p) % p;
+    const int recv_c = (me - s + p) % p;
+    // Tag offset 4096 keeps all-gather steps disjoint from reduce-scatter
+    // steps even when a fast neighbor races ahead into the second phase.
+    comm.send<T>(next, coll_detail::kAllreduceTag + 4096 + s,
+                 std::span<const T>(chunk(send_c)), phase);
+    auto incoming = comm.recv<T>(prev, coll_detail::kAllreduceTag + 4096 + s);
+    auto dst = chunk(recv_c);
+    SAGNN_CHECK(incoming.size() == dst.size());
+    std::copy(incoming.begin(), incoming.end(), dst.begin());
+  }
+}
+
+/// Variable-size all-gather: returns all ranks' contributions, indexed by
+/// rank. Ring algorithm; p-1 steps, each forwarding the block received in
+/// the previous step.
+template <typename T>
+std::vector<std::vector<T>> allgatherv(Comm& comm, std::span<const T> mine,
+                                       const std::string& phase = "allgather") {
+  const int p = comm.size();
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(comm.rank())].assign(mine.begin(), mine.end());
+  if (p == 1) return out;
+  const int next = (comm.rank() + 1) % p;
+  const int prev = (comm.rank() - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (comm.rank() - s + p) % p;
+    const int recv_block = (comm.rank() - s - 1 + p) % p;
+    comm.send<T>(next, coll_detail::kAllgatherTag + s,
+                 std::span<const T>(out[static_cast<std::size_t>(send_block)]), phase);
+    out[static_cast<std::size_t>(recv_block)] =
+        comm.recv<T>(prev, coll_detail::kAllgatherTag + s);
+  }
+  return out;
+}
+
+/// All-to-all with per-destination buffers: send_bufs[d] goes to rank d;
+/// returns recv_bufs where recv_bufs[s] came from rank s. Grouped pairwise
+/// exchange: step k pairs rank r with (r +/- k) mod p, the NCCL pattern the
+/// paper describes for torch.distributed's all_to_all.
+template <typename T>
+std::vector<std::vector<T>> alltoallv(Comm& comm,
+                                      const std::vector<std::vector<T>>& send_bufs,
+                                      const std::string& phase = "alltoall") {
+  const int p = comm.size();
+  SAGNN_REQUIRE(send_bufs.size() == static_cast<std::size_t>(p),
+                "alltoallv needs one send buffer per rank");
+  std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
+  // Local block: a self-copy, recorded so volume accounting can decide how
+  // to treat it (CostModel ignores src==dst traffic).
+  comm.send<T>(comm.rank(), coll_detail::kAlltoallTag,
+               std::span<const T>(send_bufs[static_cast<std::size_t>(comm.rank())]),
+               phase);
+  recv_bufs[static_cast<std::size_t>(comm.rank())] =
+      comm.recv<T>(comm.rank(), coll_detail::kAlltoallTag);
+  for (int step = 1; step < p; ++step) {
+    const int dst = (comm.rank() + step) % p;
+    const int src = (comm.rank() - step + p) % p;
+    comm.send<T>(dst, coll_detail::kAlltoallTag + step,
+                 std::span<const T>(send_bufs[static_cast<std::size_t>(dst)]), phase);
+    recv_bufs[static_cast<std::size_t>(src)] =
+        comm.recv<T>(src, coll_detail::kAlltoallTag + step);
+  }
+  return recv_bufs;
+}
+
+/// Gather variable-size contributions at `root`. Returns per-rank data at
+/// the root, an empty vector elsewhere.
+template <typename T>
+std::vector<std::vector<T>> gatherv(Comm& comm, int root, std::span<const T> mine,
+                                    const std::string& phase = "gather") {
+  std::vector<std::vector<T>> out;
+  if (comm.rank() == root) {
+    out.resize(static_cast<std::size_t>(comm.size()));
+    out[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = comm.recv<T>(r, coll_detail::kGatherTag);
+    }
+  } else {
+    comm.send<T>(root, coll_detail::kGatherTag, mine, phase);
+  }
+  return out;
+}
+
+}  // namespace sagnn

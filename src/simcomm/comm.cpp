@@ -1,0 +1,95 @@
+#include "simcomm/comm.hpp"
+
+#include <algorithm>
+
+namespace sagnn {
+
+CommWorld::CommWorld(int size) : size_(size), traffic_(size) {
+  SAGNN_REQUIRE(size > 0, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void CommWorld::send(int src, int dst, long tag, std::span<const std::byte> data,
+                     const std::string& phase) {
+  SAGNN_REQUIRE(src >= 0 && src < size_ && dst >= 0 && dst < size_,
+                "send rank out of range");
+  traffic_.record(phase, src, dst, data.size());
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back({src, tag, {data.begin(), data.end()}});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> CommWorld::recv(int me, int src, long tag) {
+  SAGNN_REQUIRE(me >= 0 && me < size_ && src >= 0 && src < size_,
+                "recv rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                           [&](const Message& m) { return m.src == src && m.tag == tag; });
+    if (it != box.messages.end()) {
+      std::vector<std::byte> data = std::move(it->data);
+      box.messages.erase(it);
+      return data;
+    }
+    if (aborted()) throw AbortedError();
+    box.cv.wait(lock);
+  }
+}
+
+void CommWorld::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
+Comm::Comm(CommWorld& world, int rank) : world_(&world), rank_(rank) {
+  SAGNN_REQUIRE(rank >= 0 && rank < world.size(), "rank out of range");
+  members_.resize(static_cast<std::size_t>(world.size()));
+  for (int i = 0; i < world.size(); ++i) members_[static_cast<std::size_t>(i)] = i;
+}
+
+void Comm::barrier() {
+  const int p = size();
+  const long epoch = barrier_epoch_++;
+  if (p == 1) return;
+  // Dissemination barrier: ceil(log2 p) rounds of token passing. Recorded
+  // under the "sync" phase; cost models typically exclude it (the paper's
+  // alpha-beta analysis does not charge barriers).
+  const std::byte token{0};
+  for (int k = 0, dist = 1; dist < p; ++k, dist <<= 1) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist % p + p) % p;
+    world_->send(world_rank(rank_), world_rank(to),
+                 stamp(kBarrierTagBase + epoch * 64 + k), {&token, 1}, "sync");
+    (void)world_->recv(world_rank(rank_), world_rank(from),
+                       stamp(kBarrierTagBase + epoch * 64 + k));
+  }
+}
+
+Comm Comm::split(const std::function<int(int)>& color_of) const {
+  const int my_color = color_of(rank_);
+  Comm out;
+  out.world_ = world_;
+  const long seq = split_seq_;
+  // split_seq_ advances on the parent so a later split() from the same
+  // parent gets a different communicator id even with equal colors.
+  const_cast<Comm*>(this)->split_seq_++;
+  for (int r = 0; r < size(); ++r) {
+    if (color_of(r) == my_color) {
+      if (r == rank_) out.rank_ = static_cast<int>(out.members_.size());
+      out.members_.push_back(world_rank(r));
+    }
+  }
+  SAGNN_CHECK(out.rank_ >= 0);
+  out.comm_id_ = comm_id_ * 1000003L + seq * 1009L + my_color + 1;
+  return out;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,152 @@
+#pragma once
+// The simulated message-passing runtime.
+//
+// CommWorld owns one mailbox per rank; a Comm is a view of a subset of
+// ranks (like an MPI communicator / NCCL clique). Send/Recv match on
+// (source, tag) exactly like MPI point-to-point with explicit tags. The
+// runtime is deliberately synchronous-copy (every Send deep-copies its
+// payload) — simplicity and determinism over throughput; the performance
+// *model* lives in CostModel, not in the runtime's own speed.
+//
+// Tag space: user tags must be < kUserTagLimit. Internal operations
+// (barriers, collectives) use reserved offsets above that, further prefixed
+// by a per-communicator id so concurrent collectives on different
+// communicators never cross-match.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simcomm/traffic.hpp"
+
+namespace sagnn {
+
+/// Thrown out of blocked receives when the cluster is torn down after
+/// another rank failed; prevents deadlock on rank errors.
+class AbortedError : public Error {
+ public:
+  AbortedError() : Error("communication aborted: another rank failed") {}
+};
+
+class CommWorld {
+ public:
+  explicit CommWorld(int size);
+
+  int size() const { return size_; }
+  TrafficRecorder& traffic() { return traffic_; }
+  const TrafficRecorder& traffic() const { return traffic_; }
+
+  /// Blocking matched send: copies `data` into dst's mailbox and records
+  /// the bytes under `phase`.
+  void send(int src, int dst, long tag, std::span<const std::byte> data,
+            const std::string& phase);
+
+  /// Blocking receive of the message with matching (src, tag).
+  std::vector<std::byte> recv(int me, int src, long tag);
+
+  /// Wake every blocked receiver with AbortedError (called by Cluster when
+  /// a rank throws).
+  void abort();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+ private:
+  struct Message {
+    int src;
+    long tag;
+    std::vector<std::byte> data;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Message> messages;
+  };
+
+  int size_;
+  TrafficRecorder traffic_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+};
+
+/// A communicator: an ordered subset of world ranks plus this thread's
+/// position in it. Cheap to copy. All collective operations live in
+/// collectives.hpp and operate on a Comm.
+class Comm {
+ public:
+  /// World communicator for rank `rank`.
+  Comm(CommWorld& world, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  CommWorld& world() const { return *world_; }
+  /// World rank of communicator rank r.
+  int world_rank(int r) const { return members_[static_cast<std::size_t>(r)]; }
+
+  /// Typed send of trivially-copyable elements.
+  template <typename T>
+  void send(int dst, long tag, std::span<const T> data, const std::string& phase) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    world_->send(world_rank(rank_), world_rank(dst), stamp(tag),
+                 std::as_bytes(data), phase);
+  }
+
+  /// Typed receive; returns the payload reinterpreted as T.
+  template <typename T>
+  std::vector<T> recv(int src, long tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = world_->recv(world_rank(rank_), world_rank(src), stamp(tag));
+    SAGNN_CHECK(raw.size() % sizeof(T) == 0);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Receive into a preallocated span (size must match exactly).
+  template <typename T>
+  void recv_into(int src, long tag, std::span<T> out) {
+    auto raw = world_->recv(world_rank(rank_), world_rank(src), stamp(tag));
+    SAGNN_REQUIRE(raw.size() == out.size_bytes(), "recv_into size mismatch");
+    std::memcpy(out.data(), raw.data(), raw.size());
+  }
+
+  /// Dissemination barrier over this communicator. All members must call it
+  /// the same number of times (standard collective semantics).
+  void barrier();
+
+  /// Split into sub-communicators without communication: `color_of` must be
+  /// a pure function agreed on by every member (it is evaluated locally for
+  /// all ranks). Members keep their relative order within a color.
+  Comm split(const std::function<int(int)>& color_of) const;
+
+ private:
+  Comm() = default;
+
+  /// Tags are namespaced by communicator id so concurrent operations on
+  /// different communicators never match each other's messages. The id is
+  /// folded to 20 bits; collisions across *simultaneously live* comms are
+  /// avoided by deriving child ids from (parent id, split sequence, color).
+  long stamp(long tag) const {
+    SAGNN_CHECK(tag >= 0 && tag < kTagSpace);
+    return (comm_id_ % (1L << 20)) * kTagSpace + tag;
+  }
+
+  static constexpr long kTagSpace = 1L << 30;
+  static constexpr long kBarrierTagBase = 1L << 28;
+
+  CommWorld* world_ = nullptr;
+  std::vector<int> members_;
+  int rank_ = -1;
+  long comm_id_ = 0;
+  long barrier_epoch_ = 0;
+  long split_seq_ = 0;
+};
+
+/// User tags passed to Comm::send/recv must stay below this bound.
+inline constexpr long kUserTagLimit = 1L << 24;
+
+}  // namespace sagnn

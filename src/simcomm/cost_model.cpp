@@ -1,0 +1,64 @@
+#include "simcomm/cost_model.hpp"
+
+#include <algorithm>
+
+namespace sagnn {
+
+double CostModel::send_seconds(const PhaseTraffic& t, int rank) const {
+  double acc = 0;
+  for (int d = 0; d < t.p; ++d) {
+    if (d == rank) continue;
+    const std::size_t i = static_cast<std::size_t>(rank) * t.p + d;
+    acc += alpha(rank, d) * static_cast<double>(t.msgs[i]) +
+           beta(rank, d) * static_cast<double>(t.bytes[i]) * volume_scale;
+  }
+  return acc;
+}
+
+double CostModel::recv_seconds(const PhaseTraffic& t, int rank) const {
+  double acc = 0;
+  for (int s = 0; s < t.p; ++s) {
+    if (s == rank) continue;
+    const std::size_t i = static_cast<std::size_t>(s) * t.p + rank;
+    acc += alpha(s, rank) * static_cast<double>(t.msgs[i]) +
+           beta(s, rank) * static_cast<double>(t.bytes[i]) * volume_scale;
+  }
+  return acc;
+}
+
+double CostModel::phase_seconds(const PhaseTraffic& t) const {
+  double worst = 0;
+  for (int r = 0; r < t.p; ++r) {
+    worst = std::max(worst, std::max(send_seconds(t, r), recv_seconds(t, r)));
+  }
+  return worst;
+}
+
+double CostModel::compute_seconds(
+    const std::vector<double>& per_rank_cpu_seconds) const {
+  double worst = 0;
+  for (double s : per_rank_cpu_seconds) worst = std::max(worst, s);
+  return worst * compute_scale * volume_scale;
+}
+
+EpochCost epoch_cost(const CostModel& model, const TrafficRecorder& traffic,
+                     const std::vector<double>& per_rank_cpu_seconds) {
+  EpochCost cost;
+  cost.compute = model.compute_seconds(per_rank_cpu_seconds);
+  for (const auto& name : traffic.phase_names()) {
+    if (name == "sync") continue;
+    const double s = model.phase_seconds(traffic.phase(name));
+    if (name == "alltoall") {
+      cost.alltoall += s;
+    } else if (name == "bcast") {
+      cost.bcast += s;
+    } else if (name == "allreduce") {
+      cost.allreduce += s;
+    } else {
+      cost.other += s;
+    }
+  }
+  return cost;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,120 @@
+#include "simcomm/traffic.hpp"
+
+#include <algorithm>
+
+namespace sagnn {
+
+std::uint64_t PhaseTraffic::total_bytes() const {
+  std::uint64_t acc = 0;
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s != d) acc += bytes[static_cast<std::size_t>(s) * p + d];
+    }
+  }
+  return acc;
+}
+
+std::uint64_t PhaseTraffic::total_msgs() const {
+  std::uint64_t acc = 0;
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s != d) acc += msgs[static_cast<std::size_t>(s) * p + d];
+    }
+  }
+  return acc;
+}
+
+std::uint64_t PhaseTraffic::send_bytes(int src) const {
+  std::uint64_t acc = 0;
+  for (int d = 0; d < p; ++d) {
+    if (d != src) acc += bytes[static_cast<std::size_t>(src) * p + d];
+  }
+  return acc;
+}
+
+std::uint64_t PhaseTraffic::recv_bytes(int dst) const {
+  std::uint64_t acc = 0;
+  for (int s = 0; s < p; ++s) {
+    if (s != dst) acc += bytes[static_cast<std::size_t>(s) * p + dst];
+  }
+  return acc;
+}
+
+std::uint64_t PhaseTraffic::max_send_bytes() const {
+  std::uint64_t m = 0;
+  for (int s = 0; s < p; ++s) m = std::max(m, send_bytes(s));
+  return m;
+}
+
+double PhaseTraffic::avg_send_bytes() const {
+  if (p == 0) return 0;
+  return static_cast<double>(total_bytes()) / p;
+}
+
+double PhaseTraffic::send_imbalance_percent() const {
+  const double avg = avg_send_bytes();
+  if (avg <= 0) return 0;
+  return (static_cast<double>(max_send_bytes()) / avg - 1.0) * 100.0;
+}
+
+TrafficRecorder::TrafficRecorder(const TrafficRecorder& other) : p_(other.p_) {
+  std::lock_guard lock(other.mutex_);
+  phases_ = other.phases_;
+}
+
+TrafficRecorder& TrafficRecorder::operator=(const TrafficRecorder& other) {
+  if (this == &other) return *this;
+  std::map<std::string, PhaseTraffic> snapshot;
+  {
+    std::lock_guard lock(other.mutex_);
+    snapshot = other.phases_;
+  }
+  std::lock_guard lock(mutex_);
+  p_ = other.p_;
+  phases_ = std::move(snapshot);
+  return *this;
+}
+
+void TrafficRecorder::record(const std::string& phase, int src, int dst,
+                             std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = phases_.try_emplace(phase, p_);
+  (void)inserted;
+  it->second.bytes[static_cast<std::size_t>(src) * p_ + dst] += bytes;
+  it->second.msgs[static_cast<std::size_t>(src) * p_ + dst] += 1;
+}
+
+PhaseTraffic TrafficRecorder::phase(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = phases_.find(name);
+  if (it == phases_.end()) return PhaseTraffic(p_);
+  return it->second;
+}
+
+PhaseTraffic TrafficRecorder::total(const std::vector<std::string>& exclude) const {
+  std::lock_guard lock(mutex_);
+  PhaseTraffic acc(p_);
+  for (const auto& [name, tr] : phases_) {
+    if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) continue;
+    for (std::size_t i = 0; i < acc.bytes.size(); ++i) {
+      acc.bytes[i] += tr.bytes[i];
+      acc.msgs[i] += tr.msgs[i];
+    }
+  }
+  return acc;
+}
+
+std::vector<std::string> TrafficRecorder::phase_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(phases_.size());
+  for (const auto& [name, tr] : phases_) names.push_back(name);
+  return names;
+}
+
+void TrafficRecorder::reset() {
+  std::lock_guard lock(mutex_);
+  phases_.clear();
+}
+
+}  // namespace sagnn

@@ -1,0 +1,73 @@
+#pragma once
+// Traffic accounting for the simulated cluster.
+//
+// Every point-to-point message is attributed to a *phase* (e.g. "alltoall",
+// "bcast", "allreduce") and recorded as (src, dst, bytes). Because the
+// collectives are built from point-to-point sends exactly like NCCL builds
+// them, the recorded per-pair traffic is the real communication volume of
+// the algorithm — the quantity the paper's evaluation is about.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sagnn {
+
+/// Per-phase (src, dst) byte/message counters for a P-rank run.
+struct PhaseTraffic {
+  int p = 0;
+  std::vector<std::uint64_t> bytes;  ///< p*p, [src*p + dst]
+  std::vector<std::uint64_t> msgs;   ///< p*p, [src*p + dst]
+
+  explicit PhaseTraffic(int p_ = 0)
+      : p(p_),
+        bytes(static_cast<std::size_t>(p_) * p_, 0),
+        msgs(static_cast<std::size_t>(p_) * p_, 0) {}
+
+  std::uint64_t bytes_between(int src, int dst) const {
+    return bytes[static_cast<std::size_t>(src) * p + dst];
+  }
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_msgs() const;
+  /// Total bytes sent by a rank (row sum, excluding self messages).
+  std::uint64_t send_bytes(int src) const;
+  /// Total bytes received by a rank (column sum, excluding self messages).
+  std::uint64_t recv_bytes(int dst) const;
+  std::uint64_t max_send_bytes() const;
+  double avg_send_bytes() const;
+  /// Paper's communication load imbalance: (max_send / avg_send - 1) * 100.
+  double send_imbalance_percent() const;
+};
+
+class TrafficRecorder {
+ public:
+  explicit TrafficRecorder(int p) : p_(p) {}
+
+  /// Copyable (snapshot semantics): takes the source's lock, not its mutex.
+  TrafficRecorder(const TrafficRecorder& other);
+  TrafficRecorder& operator=(const TrafficRecorder& other);
+
+  /// Record one message. Self-sends (src == dst) are recorded but excluded
+  /// from the send/recv summaries above (local copies are free).
+  void record(const std::string& phase, int src, int dst, std::uint64_t bytes);
+
+  /// Snapshot of one phase (zeroed counters if the phase never occurred).
+  PhaseTraffic phase(const std::string& name) const;
+  /// Sum over all phases except those listed in `exclude`.
+  PhaseTraffic total(const std::vector<std::string>& exclude = {}) const;
+  std::vector<std::string> phase_names() const;
+
+  void reset();
+  int p() const { return p_; }
+
+ private:
+  int p_;
+  mutable std::mutex mutex_;
+  std::map<std::string, PhaseTraffic> phases_;
+};
+
+}  // namespace sagnn

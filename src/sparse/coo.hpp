@@ -1,0 +1,62 @@
+#pragma once
+// Coordinate-format sparse matrix: the assembly format.
+//
+// Graph generators emit COO triples; CSR (the compute format) is built from
+// a COO via CsrMatrix::from_coo. COO supports duplicate coalescing,
+// symmetrization and self-loop manipulation — the preprocessing steps GCN
+// training applies to a raw adjacency matrix.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sagnn {
+
+struct CooEntry {
+  vid_t row;
+  vid_t col;
+  real_t val;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(vid_t n_rows, vid_t n_cols) : n_rows_(n_rows), n_cols_(n_cols) {
+    SAGNN_REQUIRE(n_rows >= 0 && n_cols >= 0, "matrix dimensions must be non-negative");
+  }
+
+  vid_t n_rows() const { return n_rows_; }
+  vid_t n_cols() const { return n_cols_; }
+  eid_t nnz() const { return static_cast<eid_t>(entries_.size()); }
+
+  const std::vector<CooEntry>& entries() const { return entries_; }
+  std::vector<CooEntry>& entries() { return entries_; }
+
+  /// Append one entry; bounds-checked.
+  void add(vid_t row, vid_t col, real_t val);
+
+  /// Sort by (row, col) and sum duplicates in place.
+  void coalesce();
+
+  /// Make the pattern symmetric: for every (i,j,v) ensure (j,i,v) exists.
+  /// Requires a square matrix. Duplicates are resolved by a later coalesce().
+  void symmetrize();
+
+  /// Remove all diagonal entries.
+  void drop_diagonal();
+
+  /// Add the identity: A + I (GCN's self-loop augmentation). Coalesce first
+  /// if diagonal entries may already exist.
+  void add_identity(real_t val = real_t{1});
+
+  /// True if for every (i,j) there is a matching (j,i) with equal value.
+  /// Intended for tests; O(nnz log nnz).
+  bool is_symmetric() const;
+
+ private:
+  vid_t n_rows_ = 0;
+  vid_t n_cols_ = 0;
+  std::vector<CooEntry> entries_;
+};
+
+}  // namespace sagnn

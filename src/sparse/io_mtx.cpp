@@ -1,0 +1,85 @@
+#include "sparse/io_mtx.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sagnn {
+
+namespace {
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  SAGNN_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  SAGNN_REQUIRE(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  SAGNN_REQUIRE(lower(object) == "matrix" && lower(format) == "coordinate",
+                "only coordinate matrices are supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  SAGNN_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+                "unsupported MatrixMarket field: " + field);
+  SAGNN_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+                "unsupported MatrixMarket symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  SAGNN_REQUIRE(rows > 0 && cols > 0 && nnz >= 0, "bad MatrixMarket size line");
+
+  CooMatrix coo(static_cast<vid_t>(rows), static_cast<vid_t>(cols));
+  for (long long k = 0; k < nnz; ++k) {
+    SAGNN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                  "MatrixMarket stream truncated");
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    es >> r >> c;
+    if (field != "pattern") es >> v;
+    coo.add(static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1),
+            static_cast<real_t>(v));
+    if (symmetry == "symmetric" && r != c) {
+      coo.add(static_cast<vid_t>(c - 1), static_cast<vid_t>(r - 1),
+              static_cast<real_t>(v));
+    }
+  }
+  coo.coalesce();
+  return coo;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  SAGNN_REQUIRE(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.n_rows() << ' ' << a.n_cols() << ' ' << a.nnz() << '\n';
+  for (vid_t r = 0; r < a.n_rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (r + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  SAGNN_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(out, a);
+}
+
+}  // namespace sagnn

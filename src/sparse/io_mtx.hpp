@@ -1,0 +1,24 @@
+#pragma once
+// Matrix Market (.mtx) I/O so users can run the library on real datasets
+// (Reddit/Amazon/... exported from SuiteSparse or OGB) instead of the
+// bundled synthetic analogues.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// Parse a MatrixMarket coordinate stream. Supports `general` and
+/// `symmetric` patterns, `real`/`integer`/`pattern` fields. Symmetric
+/// inputs are expanded to full storage. 1-based indices are converted.
+CooMatrix read_matrix_market(std::istream& in);
+CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Write coordinate `general real` format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace sagnn

@@ -1,0 +1,32 @@
+#pragma once
+// Symmetric permutation of sparse matrices and row reordering of dense
+// matrices. After graph partitioning, the adjacency matrix is relabeled so
+// that each part owns a contiguous block of rows (paper §6.3.1); these
+// helpers implement that relabeling.
+
+#include <span>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// Returns inverse of a permutation: inv[perm[i]] == i.
+std::vector<vid_t> invert_permutation(std::span<const vid_t> perm);
+
+/// True iff `perm` is a permutation of 0..n-1.
+bool is_permutation(std::span<const vid_t> perm);
+
+/// Symmetric permutation: B[perm[i], perm[j]] = A[i, j]. Requires square A
+/// and a valid permutation of size A.n_rows().
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const vid_t> perm);
+
+/// Row permutation of a dense matrix: B[perm[i], :] = A[i, :].
+Matrix permute_rows(const Matrix& a, std::span<const vid_t> perm);
+
+/// Labels permutation: out[perm[i]] = labels[i].
+std::vector<vid_t> permute_labels(std::span<const vid_t> labels,
+                                  std::span<const vid_t> perm);
+
+}  // namespace sagnn

@@ -1,0 +1,30 @@
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+
+void spmm_accumulate(const CsrMatrix& a, const Matrix& h, Matrix& z) {
+  SAGNN_REQUIRE(h.n_rows() == a.n_cols(), "SpMM: H row count must equal A col count");
+  SAGNN_REQUIRE(z.n_rows() == a.n_rows() && z.n_cols() == h.n_cols(),
+                "SpMM: Z shape must be (A rows x H cols)");
+  const vid_t f = h.n_cols();
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  for (vid_t r = 0; r < a.n_rows(); ++r) {
+    real_t* zr = z.row(r);
+    for (eid_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const real_t v = vals[k];
+      const real_t* hr = h.row(col_idx[k]);
+      // Inner loop over the short dense dimension; vectorizes well.
+      for (vid_t j = 0; j < f; ++j) zr[j] += v * hr[j];
+    }
+  }
+}
+
+Matrix spmm(const CsrMatrix& a, const Matrix& h) {
+  Matrix z(a.n_rows(), h.n_cols());
+  spmm_accumulate(a, h, z);
+  return z;
+}
+
+}  // namespace sagnn

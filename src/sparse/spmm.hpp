@@ -1,0 +1,29 @@
+#pragma once
+// Sparse-matrix × tall-skinny-dense-matrix multiplication kernels.
+//
+// This is the workhorse of full-graph GCN training (paper §2.1). The local
+// kernel stands in for cuSPARSE csrmm2: Z += A * H where A is CSR
+// (n_rows x n_cols) and H is row-major dense (n_cols x f).
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// Z += A * H. Z must be (A.n_rows x H.n_cols); H must have A.n_cols rows.
+void spmm_accumulate(const CsrMatrix& a, const Matrix& h, Matrix& z);
+
+/// Z = A * H (convenience; allocates).
+Matrix spmm(const CsrMatrix& a, const Matrix& h);
+
+/// Z += A * H where the column indices of `a` address rows of a *compacted*
+/// buffer `h_packed` (used by the sparsity-aware algorithms, which receive
+/// only the needed rows of H and remap indices once at setup).
+/// Identical kernel; documented separately because callers rely on the
+/// remapped-index contract.
+inline void spmm_compacted_accumulate(const CsrMatrix& a, const Matrix& h_packed,
+                                      Matrix& z) {
+  spmm_accumulate(a, h_packed, z);
+}
+
+}  // namespace sagnn

@@ -1,0 +1,47 @@
+#include "sparse/spmv.hpp"
+
+namespace sagnn {
+
+void spmv_accumulate(const CsrMatrix& a, std::span<const real_t> x,
+                     std::span<real_t> y) {
+  SAGNN_REQUIRE(x.size() == static_cast<std::size_t>(a.n_cols()),
+                "SpMV: x size must equal column count");
+  SAGNN_REQUIRE(y.size() == static_cast<std::size_t>(a.n_rows()),
+                "SpMV: y size must equal row count");
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  for (vid_t r = 0; r < a.n_rows(); ++r) {
+    real_t acc = 0;
+    for (eid_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      acc += vals[k] * x[static_cast<std::size_t>(col_idx[k])];
+    }
+    y[static_cast<std::size_t>(r)] += acc;
+  }
+}
+
+std::vector<real_t> spmv(const CsrMatrix& a, std::span<const real_t> x) {
+  std::vector<real_t> y(static_cast<std::size_t>(a.n_rows()), real_t{0});
+  spmv_accumulate(a, x, y);
+  return y;
+}
+
+std::vector<real_t> spmv_transposed(const CsrMatrix& a,
+                                    std::span<const real_t> x) {
+  SAGNN_REQUIRE(x.size() == static_cast<std::size_t>(a.n_rows()),
+                "SpMV^T: x size must equal row count");
+  std::vector<real_t> y(static_cast<std::size_t>(a.n_cols()), real_t{0});
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  for (vid_t r = 0; r < a.n_rows(); ++r) {
+    const real_t xr = x[static_cast<std::size_t>(r)];
+    if (xr == real_t{0}) continue;
+    for (eid_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      y[static_cast<std::size_t>(col_idx[k])] += vals[k] * xr;
+    }
+  }
+  return y;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,25 @@
+#pragma once
+// Sparse matrix-vector products. SpMV is the classical target of the
+// partitioning literature the paper builds on (§1: partitioners usually
+// amortize over many SpMV iterations of a sparse solver); it is provided
+// both for completeness and for tests that check the f=1 degenerate case of
+// the SpMM machinery against an independent implementation.
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// y = A * x.
+std::vector<real_t> spmv(const CsrMatrix& a, std::span<const real_t> x);
+
+/// y += A * x into a caller-provided buffer.
+void spmv_accumulate(const CsrMatrix& a, std::span<const real_t> x,
+                     std::span<real_t> y);
+
+/// y = A^T * x without materializing the transpose (scatter formulation).
+std::vector<real_t> spmv_transposed(const CsrMatrix& a, std::span<const real_t> x);
+
+}  // namespace sagnn

@@ -1,0 +1,94 @@
+// Graph analysis utilities: components, degree histograms, community
+// fractions — and the structural signatures of the dataset analogues.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/analysis.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Analysis, ComponentsOfDisconnectedCliques) {
+  // ring_of_cliques with k=1 is one clique; build two cliques manually.
+  CooMatrix coo(6, 6);
+  for (vid_t i = 0; i < 3; ++i) {
+    for (vid_t j = i + 1; j < 3; ++j) {
+      coo.add(i, j, 1);
+      coo.add(i + 3, j + 3, 1);
+    }
+  }
+  coo.symmetrize();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto comp = connected_components(a);
+  EXPECT_EQ(count_components(comp), 2);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Analysis, IsolatedVerticesAreSingletons) {
+  const CsrMatrix a = CsrMatrix::zeros(4, 4);
+  EXPECT_EQ(count_components(connected_components(a)), 4);
+}
+
+TEST(Analysis, RingOfCliquesIsConnected) {
+  const CsrMatrix a = CsrMatrix::from_coo(ring_of_cliques(5, 8));
+  EXPECT_EQ(count_components(connected_components(a)), 1);
+}
+
+TEST(Analysis, DegreeHistogramCountsAllVertices) {
+  Rng rng(1);
+  const CsrMatrix a = CsrMatrix::from_coo(rmat(9, 6, rng));
+  const auto hist = degree_histogram_log2(a);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), eid_t{0}), a.n_rows());
+  EXPECT_GT(hist.size(), 3u);  // skewed graph spans several octaves
+}
+
+TEST(Analysis, DegreeSkewSeparatesRegimes) {
+  Rng rng(2);
+  const CsrMatrix skewed = CsrMatrix::from_coo(rmat(10, 6, rng));
+  const CsrMatrix regular =
+      CsrMatrix::from_coo(clustered_graph(1024, 64, 8, 0.05, rng));
+  EXPECT_GT(degree_skew(skewed), 3.0 * degree_skew(regular));
+}
+
+TEST(Analysis, InternalEdgeFractionBounds) {
+  Rng rng(3);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(100, 500, rng));
+  std::vector<vid_t> all_same(100, 0);
+  EXPECT_DOUBLE_EQ(internal_edge_fraction(a, all_same), 1.0);
+  std::vector<vid_t> all_distinct(100);
+  std::iota(all_distinct.begin(), all_distinct.end(), 0);
+  EXPECT_DOUBLE_EQ(internal_edge_fraction(a, all_distinct), 0.0);
+}
+
+TEST(Analysis, HybridGraphKeepsCommunitySignal) {
+  // The amazon-sim recipe must leave enough community structure for a
+  // partitioner to find: the generating communities should hold a clear
+  // majority of edges despite the R-MAT overlay.
+  Rng rng(4);
+  std::vector<vid_t> communities;
+  const CsrMatrix a = CsrMatrix::from_coo(
+      hybrid_community_graph(2048, 128, 5, 2, rng, true, &communities));
+  EXPECT_GT(internal_edge_fraction(a, communities), 0.5);
+  // And the overlay must keep the degree skew well above the pure
+  // clustered graph's.
+  EXPECT_GT(degree_skew(a), 4.0);
+}
+
+TEST(Analysis, DatasetSignatures) {
+  // The analogue suite's regimes, asserted as structural invariants.
+  const Dataset protein = make_protein_sim(DatasetScale::kTiny);
+  const Dataset amazon = make_amazon_sim(DatasetScale::kTiny);
+  EXPECT_LT(degree_skew(protein.adjacency), 3.0);   // regular
+  EXPECT_GT(degree_skew(amazon.adjacency), 4.0);    // hub-skewed
+  // The ring-of-clusters construction is connected up to the occasional
+  // cluster whose inter-cluster coin flips all miss (tiny scale only).
+  EXPECT_LE(count_components(connected_components(protein.adjacency)), 4);
+}
+
+}  // namespace
+}  // namespace sagnn

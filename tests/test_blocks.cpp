@@ -1,0 +1,138 @@
+// Block decomposition and sparsity-aware column analysis (NnzCols,
+// compaction) — the structural machinery of Algorithms 1 and 2.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sparse/blocks.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Blocks, UniformRangesCoverExactly) {
+  for (vid_t n : {1, 7, 16, 100, 101}) {
+    for (int p : {1, 2, 3, 7, 16}) {
+      if (p > n) continue;
+      const auto ranges = uniform_block_ranges(n, p);
+      ASSERT_EQ(static_cast<int>(ranges.size()), p);
+      EXPECT_EQ(ranges.front().begin, 0);
+      EXPECT_EQ(ranges.back().end, n);
+      for (std::size_t i = 1; i < ranges.size(); ++i) {
+        EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+      }
+      // Sizes differ by at most one.
+      vid_t mn = n, mx = 0;
+      for (const auto& r : ranges) {
+        mn = std::min(mn, r.size());
+        mx = std::max(mx, r.size());
+      }
+      EXPECT_LE(mx - mn, 1);
+    }
+  }
+}
+
+TEST(Blocks, RangesFromSizes) {
+  std::vector<vid_t> sizes{3, 0, 5};
+  const auto ranges = ranges_from_sizes(sizes);
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[0].end, 3);
+  EXPECT_EQ(ranges[1].size(), 0);
+  EXPECT_EQ(ranges[2].end, 8);
+}
+
+TEST(Blocks, ExtractRowBlockPreservesRows) {
+  Rng rng(1);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(40, 300, rng));
+  const CsrMatrix block = extract_row_block(a, {10, 25});
+  EXPECT_EQ(block.n_rows(), 15);
+  EXPECT_EQ(block.n_cols(), 40);
+  for (vid_t r = 0; r < 15; ++r) {
+    for (vid_t c = 0; c < 40; ++c) {
+      EXPECT_FLOAT_EQ(block.at(r, c), a.at(r + 10, c));
+    }
+  }
+}
+
+TEST(Blocks, SplitBlockColsPartitionNnz) {
+  Rng rng(2);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(60, 500, rng));
+  const auto ranges = uniform_block_ranges(60, 4);
+  const auto blocks = split_block_cols(a, ranges);
+  ASSERT_EQ(blocks.size(), 4u);
+  eid_t total = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    total += blocks[b].nnz();
+    EXPECT_EQ(blocks[b].n_cols(), ranges[b].size());
+    blocks[b].validate();
+  }
+  EXPECT_EQ(total, a.nnz());
+  // Elementwise: block b at (r, c) equals a at (r, c + offset).
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (vid_t r = 0; r < a.n_rows(); ++r) {
+      for (vid_t c = 0; c < ranges[b].size(); ++c) {
+        EXPECT_FLOAT_EQ(blocks[b].at(r, c), a.at(r, ranges[b].begin + c));
+      }
+    }
+  }
+}
+
+TEST(Blocks, SplitThenSpmmEqualsFullSpmm) {
+  Rng rng(3);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(48, 400, rng));
+  const Matrix h = Matrix::random_uniform(48, 6, rng);
+  const auto ranges = uniform_block_ranges(48, 3);
+  const auto blocks = split_block_cols(a, ranges);
+  Matrix z(48, 6);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const Matrix h_b = h.slice_rows(ranges[b].begin, ranges[b].end);
+    spmm_accumulate(blocks[b], h_b, z);
+  }
+  EXPECT_LT(z.max_abs_diff(spmm(a, h)), 1e-5);
+}
+
+TEST(Blocks, NnzColsFindsExactlyNonEmptyColumns) {
+  CooMatrix coo(3, 6);
+  coo.add(0, 1, 1.0f);
+  coo.add(1, 4, 1.0f);
+  coo.add(2, 1, 1.0f);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(nnz_cols(a), (std::vector<vid_t>{1, 4}));
+}
+
+TEST(Blocks, NnzColsEmptyMatrix) {
+  EXPECT_TRUE(nnz_cols(CsrMatrix::zeros(3, 5)).empty());
+}
+
+TEST(Blocks, CompactColumnsRemapsDensely) {
+  CooMatrix coo(2, 8);
+  coo.add(0, 3, 1.5f);
+  coo.add(0, 6, 2.5f);
+  coo.add(1, 3, 3.5f);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const CompactedBlock cb = compact_columns(a);
+  EXPECT_EQ(cb.cols, (std::vector<vid_t>{3, 6}));
+  EXPECT_EQ(cb.matrix.n_cols(), 2);
+  EXPECT_FLOAT_EQ(cb.matrix.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(cb.matrix.at(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(cb.matrix.at(1, 0), 3.5f);
+  cb.matrix.validate();
+}
+
+TEST(Blocks, CompactionSavesExactlyEmptyColumns) {
+  Rng rng(4);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(64, 128, rng));
+  const auto blocks = split_block_cols(a, uniform_block_ranges(64, 8));
+  for (const auto& b : blocks) {
+    const CompactedBlock cb = compact_columns(b);
+    EXPECT_EQ(static_cast<vid_t>(cb.cols.size()),
+              static_cast<vid_t>(nnz_cols(b).size()));
+    EXPECT_LE(cb.matrix.n_cols(), b.n_cols());
+    EXPECT_EQ(cb.matrix.nnz(), b.nnz());
+  }
+}
+
+}  // namespace
+}  // namespace sagnn

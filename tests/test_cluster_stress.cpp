@@ -1,0 +1,128 @@
+// Stress and robustness tests of the simulated cluster: message storms,
+// out-of-order tag matching under load, large rank counts, interleaved
+// collectives on sibling communicators, and traffic-accounting totals.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "simcomm/cluster.hpp"
+#include "simcomm/collectives.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(ClusterStress, RandomP2pStormIsLossless) {
+  // Every rank sends a deterministic pseudo-random sequence of messages to
+  // every other rank; receivers verify content and totals.
+  const int p = 8;
+  const int rounds = 40;
+  std::atomic<long> received_sum{0};
+  run_spmd(p, [&](Comm& comm) {
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 99);
+    long sent = 0;
+    for (int r = 0; r < rounds; ++r) {
+      for (int d = 0; d < p; ++d) {
+        if (d == comm.rank()) continue;
+        const auto len = static_cast<std::size_t>(rng.next_below(64));
+        std::vector<int> payload(len, comm.rank() * 1000 + r);
+        comm.send<int>(d, 500 + r, payload, "storm");
+        sent += static_cast<long>(len);
+      }
+    }
+    (void)sent;
+    for (int r = 0; r < rounds; ++r) {
+      for (int s = 0; s < p; ++s) {
+        if (s == comm.rank()) continue;
+        const auto got = comm.recv<int>(s, 500 + r);
+        for (int x : got) EXPECT_EQ(x, s * 1000 + r);
+        received_sum.fetch_add(static_cast<long>(got.size()));
+      }
+    }
+  });
+  EXPECT_GT(received_sum.load(), 0);
+}
+
+TEST(ClusterStress, ManyRanksBarrierAndAllreduce) {
+  const int p = 96;
+  run_spmd(p, [p](Comm& comm) {
+    comm.barrier();
+    std::vector<long> v{1};
+    allreduce_sum<long>(comm, v);
+    EXPECT_EQ(v[0], p);
+    comm.barrier();
+  });
+}
+
+TEST(ClusterStress, InterleavedCollectivesOnRowAndColComms) {
+  // 4x4 grid: every rank alternates collectives on its row and column
+  // communicators; cross-matching would corrupt the sums.
+  const int p = 16;
+  run_spmd(p, [](Comm& comm) {
+    Comm row = comm.split([](int r) { return r / 4; });
+    Comm col = comm.split([](int r) { return r % 4; });
+    for (int iter = 0; iter < 6; ++iter) {
+      std::vector<int> a{comm.rank()};
+      std::vector<int> b{comm.rank()};
+      allreduce_sum<int>(row, a);
+      allreduce_sum<int>(col, b);
+      // Row sum: 4 consecutive ranks; col sum: stride-4 ranks.
+      const int r0 = (comm.rank() / 4) * 4;
+      EXPECT_EQ(a[0], r0 * 4 + 6);
+      const int c0 = comm.rank() % 4;
+      EXPECT_EQ(b[0], 4 * c0 + 24);
+    }
+  });
+}
+
+TEST(ClusterStress, TrafficTotalsAreExactUnderConcurrency) {
+  // Concurrent recording from all ranks must not lose bytes: total ==
+  // p * (p-1) * bytes_per_message * rounds.
+  const int p = 12;
+  const int rounds = 10;
+  auto traffic = run_spmd(p, [&](Comm& comm) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int d = 0; d < p; ++d) {
+        if (d == comm.rank()) continue;
+        std::vector<std::uint8_t> payload(17);
+        comm.send<std::uint8_t>(d, 700 + r, payload, "storm");
+      }
+      for (int s = 0; s < p; ++s) {
+        if (s == comm.rank()) continue;
+        (void)comm.recv<std::uint8_t>(s, 700 + r);
+      }
+    }
+  });
+  EXPECT_EQ(traffic.phase("storm").total_bytes(),
+            static_cast<std::uint64_t>(p) * (p - 1) * 17 * rounds);
+  EXPECT_EQ(traffic.phase("storm").total_msgs(),
+            static_cast<std::uint64_t>(p) * (p - 1) * rounds);
+}
+
+TEST(ClusterStress, ReentrantClusters) {
+  // Back-to-back clusters (as the bench harness runs them) must not leak
+  // state into each other.
+  for (int iter = 0; iter < 5; ++iter) {
+    auto traffic = run_spmd(4, [](Comm& comm) {
+      std::vector<int> v{comm.rank()};
+      allreduce_sum<int>(comm, v);
+      EXPECT_EQ(v[0], 6);
+    });
+    const auto total = traffic.total({"sync"}).total_bytes();
+    EXPECT_GT(total, 0u);
+  }
+}
+
+TEST(ClusterStress, AbortFromManyRanksStillTerminates) {
+  Cluster cluster(16);
+  EXPECT_THROW(
+      cluster.run([](Comm& comm) {
+        if (comm.rank() % 3 == 0) throw Error("boom");
+        (void)comm.recv<int>((comm.rank() + 1) % 16, 1);
+      }),
+      Error);
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,112 @@
+// COO container tests: coalescing, symmetrization, diagonal manipulation.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Coo, AddAndCount) {
+  CooMatrix m(3, 4);
+  m.add(0, 1, 1.0f);
+  m.add(2, 3, 2.0f);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.n_rows(), 3);
+  EXPECT_EQ(m.n_cols(), 4);
+}
+
+TEST(Coo, AddOutOfRangeThrows) {
+  CooMatrix m(2, 2);
+  EXPECT_THROW(m.add(2, 0, 1.0f), Error);
+  EXPECT_THROW(m.add(0, -1, 1.0f), Error);
+}
+
+TEST(Coo, CoalesceSumsDuplicates) {
+  CooMatrix m(2, 2);
+  m.add(0, 1, 1.0f);
+  m.add(0, 1, 2.5f);
+  m.add(1, 0, 1.0f);
+  m.coalesce();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.entries()[0].val, 3.5f);
+}
+
+TEST(Coo, CoalesceSortsRowMajor) {
+  CooMatrix m(3, 3);
+  m.add(2, 0, 1.0f);
+  m.add(0, 2, 1.0f);
+  m.add(0, 0, 1.0f);
+  m.coalesce();
+  EXPECT_EQ(m.entries()[0].row, 0);
+  EXPECT_EQ(m.entries()[0].col, 0);
+  EXPECT_EQ(m.entries()[1].col, 2);
+  EXPECT_EQ(m.entries()[2].row, 2);
+}
+
+TEST(Coo, SymmetrizeMirrorsEntries) {
+  CooMatrix m(3, 3);
+  m.add(0, 1, 2.0f);
+  m.add(1, 2, 3.0f);
+  m.symmetrize();
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(Coo, SymmetrizeKeepsDiagonal) {
+  CooMatrix m(2, 2);
+  m.add(0, 0, 5.0f);
+  m.add(0, 1, 1.0f);
+  m.symmetrize();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(Coo, SymmetrizeRequiresSquare) {
+  CooMatrix m(2, 3);
+  EXPECT_THROW(m.symmetrize(), Error);
+}
+
+TEST(Coo, DropDiagonal) {
+  CooMatrix m(3, 3);
+  m.add(0, 0, 1.0f);
+  m.add(1, 1, 1.0f);
+  m.add(0, 1, 1.0f);
+  m.drop_diagonal();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.entries()[0].col, 1);
+}
+
+TEST(Coo, AddIdentity) {
+  CooMatrix m(3, 3);
+  m.add(0, 1, 1.0f);
+  m.add_identity(2.0f);
+  EXPECT_EQ(m.nnz(), 4);
+  // Entry (1,1) must exist with value 2.
+  bool found = false;
+  for (const auto& e : m.entries()) {
+    if (e.row == 1 && e.col == 1) {
+      found = true;
+      EXPECT_FLOAT_EQ(e.val, 2.0f);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Coo, AddIdentitySumsWithExistingDiagonal) {
+  CooMatrix m(2, 2);
+  m.add(0, 0, 1.0f);
+  m.add_identity(1.0f);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.entries()[0].val, 2.0f);
+}
+
+TEST(Coo, IsSymmetricDetectsAsymmetry) {
+  CooMatrix m(2, 2);
+  m.add(0, 1, 1.0f);
+  EXPECT_FALSE(m.is_symmetric());
+  m.add(1, 0, 2.0f);  // wrong value
+  EXPECT_FALSE(m.is_symmetric());
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,131 @@
+// Alpha-beta cost model: per-rank serialization, bottleneck semantics,
+// intra/inter-node distinction, epoch assembly.
+#include <gtest/gtest.h>
+
+#include "simcomm/cost_model.hpp"
+
+namespace sagnn {
+namespace {
+
+CostModel simple_model() {
+  CostModel m;
+  m.alpha_intra = 1.0;  // exaggerated units for easy arithmetic
+  m.alpha_inter = 10.0;
+  m.beta_intra = 0.5;
+  m.beta_inter = 2.0;
+  m.gpus_per_node = 2;
+  m.compute_scale = 0.1;
+  return m;
+}
+
+TEST(CostModel, NodeTopology) {
+  const CostModel m = simple_model();
+  EXPECT_TRUE(m.same_node(0, 1));
+  EXPECT_FALSE(m.same_node(1, 2));
+  EXPECT_DOUBLE_EQ(m.alpha(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.alpha(0, 2), 10.0);
+  EXPECT_DOUBLE_EQ(m.beta(2, 3), 0.5);
+  EXPECT_DOUBLE_EQ(m.beta(1, 2), 2.0);
+}
+
+TEST(CostModel, SendSecondsSerializesAllDestinations) {
+  const CostModel m = simple_model();
+  PhaseTraffic t(4);
+  // rank 0 -> 1 (intra, 10B), rank 0 -> 2 (inter, 10B)
+  t.bytes[0 * 4 + 1] = 10;
+  t.msgs[0 * 4 + 1] = 1;
+  t.bytes[0 * 4 + 2] = 10;
+  t.msgs[0 * 4 + 2] = 1;
+  // (1 + 0.5*10) + (10 + 2*10) = 6 + 30
+  EXPECT_DOUBLE_EQ(m.send_seconds(t, 0), 36.0);
+  EXPECT_DOUBLE_EQ(m.recv_seconds(t, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m.recv_seconds(t, 2), 30.0);
+}
+
+TEST(CostModel, SelfTrafficIsFree) {
+  const CostModel m = simple_model();
+  PhaseTraffic t(2);
+  t.bytes[0] = 1000000;  // (0,0)
+  t.msgs[0] = 5;
+  EXPECT_DOUBLE_EQ(m.send_seconds(t, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.phase_seconds(t), 0.0);
+}
+
+TEST(CostModel, PhaseIsBottleneckRank) {
+  const CostModel m = simple_model();
+  PhaseTraffic t(4);
+  t.bytes[0 * 4 + 1] = 2;   // rank0 sends 2B intra: 1 + 1 = 2
+  t.msgs[0 * 4 + 1] = 1;
+  t.bytes[3 * 4 + 0] = 100;  // rank3 sends 100B inter: 10 + 200 = 210
+  t.msgs[3 * 4 + 0] = 1;
+  EXPECT_DOUBLE_EQ(m.phase_seconds(t), 210.0);
+}
+
+TEST(CostModel, RecvSideCanBeBottleneck) {
+  const CostModel m = simple_model();
+  PhaseTraffic t(4);
+  // Everyone sends 10B to rank 0 (inter from 2,3; intra from 1):
+  for (int s = 1; s < 4; ++s) {
+    t.bytes[static_cast<std::size_t>(s) * 4 + 0] = 10;
+    t.msgs[static_cast<std::size_t>(s) * 4 + 0] = 1;
+  }
+  // rank0 recv: (1+5) + (10+20) + (10+20) = 66 > any single send cost (30).
+  EXPECT_DOUBLE_EQ(m.phase_seconds(t), 66.0);
+}
+
+TEST(CostModel, ComputeSecondsScalesAndTakesMax) {
+  const CostModel m = simple_model();
+  EXPECT_DOUBLE_EQ(m.compute_seconds({1.0, 5.0, 2.0}), 0.5);
+}
+
+TEST(CostModel, EpochCostBucketsByPhaseName) {
+  const CostModel m = simple_model();
+  TrafficRecorder rec(2);
+  rec.record("alltoall", 0, 1, 10);   // intra: 1 + 5 = 6
+  rec.record("bcast", 1, 0, 2);       // intra: 1 + 1 = 2
+  rec.record("allreduce", 0, 1, 4);   // intra: 1 + 2 = 3
+  rec.record("weird", 1, 0, 2);       // other: 2
+  rec.record("sync", 0, 1, 999999);   // excluded
+  const EpochCost cost = epoch_cost(m, rec, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(cost.alltoall, 6.0);
+  EXPECT_DOUBLE_EQ(cost.bcast, 2.0);
+  EXPECT_DOUBLE_EQ(cost.allreduce, 3.0);
+  EXPECT_DOUBLE_EQ(cost.other, 2.0);
+  EXPECT_DOUBLE_EQ(cost.compute, 2.0);
+  EXPECT_DOUBLE_EQ(cost.total(), 15.0);
+}
+
+TEST(CostModel, OverlappedTotalIsMaxOfSides) {
+  EpochCost c;
+  c.compute = 5;
+  c.alltoall = 2;
+  c.bcast = 1;
+  EXPECT_DOUBLE_EQ(c.comm(), 3.0);
+  EXPECT_DOUBLE_EQ(c.total(), 8.0);
+  EXPECT_DOUBLE_EQ(c.total_overlapped(), 5.0);
+  c.allreduce = 10;
+  EXPECT_DOUBLE_EQ(c.total_overlapped(), 13.0);
+}
+
+TEST(CostModel, VolumeScaleMultipliesBytesNotLatency) {
+  CostModel m = simple_model();
+  m.volume_scale = 10.0;
+  PhaseTraffic t(2);
+  t.bytes[0 * 2 + 1] = 10;  // intra: alpha 1, beta 0.5
+  t.msgs[0 * 2 + 1] = 1;
+  // 1 (latency unscaled) + 0.5 * 10 * 10 (bytes scaled)
+  EXPECT_DOUBLE_EQ(m.send_seconds(t, 0), 51.0);
+  EXPECT_DOUBLE_EQ(m.compute_seconds({1.0}), 1.0);  // 0.1 scale * 10
+}
+
+TEST(CostModel, DefaultsAreSane) {
+  // Perlmutter-flavored defaults: inter-node latency above intra, 25 GB/s
+  // links, 4 GPUs per node.
+  const CostModel m;
+  EXPECT_GT(m.alpha_inter, m.alpha_intra);
+  EXPECT_EQ(m.gpus_per_node, 4);
+  EXPECT_NEAR(m.beta_intra * 25.0e9, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sagnn

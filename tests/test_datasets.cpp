@@ -1,0 +1,125 @@
+// Dataset recipe tests: shapes, GCN normalization, learnability inputs,
+// and the structural contrasts the paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace sagnn {
+namespace {
+
+void expect_well_formed(const Dataset& ds) {
+  const vid_t n = ds.n_vertices();
+  EXPECT_GT(n, 0);
+  EXPECT_EQ(ds.adjacency.n_cols(), n);
+  EXPECT_EQ(ds.features.n_rows(), n);
+  EXPECT_EQ(ds.labels.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(ds.train_mask.size(), static_cast<std::size_t>(n));
+  for (vid_t l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, ds.n_classes);
+  }
+  // Â has self loops: every diagonal entry present and positive.
+  for (vid_t v = 0; v < n; ++v) EXPECT_GT(ds.adjacency.at(v, v), 0.0f);
+  // Symmetric.
+  EXPECT_EQ(ds.adjacency.nnz(), ds.adjacency.transpose().nnz());
+  // Some training vertices.
+  EXPECT_GT(std::count(ds.train_mask.begin(), ds.train_mask.end(), 1), 0);
+}
+
+TEST(Datasets, AllTinyRecipesWellFormed) {
+  for (const char* name : {"reddit", "amazon", "protein", "papers"}) {
+    SCOPED_TRACE(name);
+    expect_well_formed(make_dataset(name, DatasetScale::kTiny));
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("imagenet", DatasetScale::kTiny), Error);
+}
+
+TEST(Datasets, Deterministic) {
+  const Dataset a = make_reddit_sim(DatasetScale::kTiny, 9);
+  const Dataset b = make_reddit_sim(DatasetScale::kTiny, 9);
+  EXPECT_EQ(a.adjacency, b.adjacency);
+  EXPECT_EQ(a.features.max_abs_diff(b.features), 0.0);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Datasets, SeedChangesGraph) {
+  const Dataset a = make_amazon_sim(DatasetScale::kTiny, 1);
+  const Dataset b = make_amazon_sim(DatasetScale::kTiny, 2);
+  EXPECT_NE(a.adjacency, b.adjacency);
+}
+
+TEST(Datasets, RedditIsDenserThanAmazon) {
+  // Table 3 contrast: Reddit is the dense graph, Amazon the sparse one.
+  const Dataset reddit = make_reddit_sim(DatasetScale::kSmall);
+  const Dataset amazon = make_amazon_sim(DatasetScale::kSmall);
+  const double reddit_deg =
+      static_cast<double>(reddit.n_edges()) / reddit.n_vertices();
+  const double amazon_deg =
+      static_cast<double>(amazon.n_edges()) / amazon.n_vertices();
+  EXPECT_GT(reddit_deg, 2.0 * amazon_deg);
+}
+
+TEST(Datasets, PapersIsLargest) {
+  const Dataset papers = make_papers_sim(DatasetScale::kSmall);
+  const Dataset reddit = make_reddit_sim(DatasetScale::kSmall);
+  const Dataset protein = make_protein_sim(DatasetScale::kSmall);
+  EXPECT_GE(papers.n_vertices(), reddit.n_vertices());
+  EXPECT_GE(papers.n_vertices(), protein.n_vertices());
+}
+
+TEST(Datasets, NormalizationBoundsSpectralMass) {
+  // All values of Â lie in (0, 1] after D^{-1/2}(A+I)D^{-1/2}.
+  const Dataset ds = make_protein_sim(DatasetScale::kTiny);
+  for (real_t v : ds.adjacency.vals()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Datasets, FeaturesCorrelateWithLabels) {
+  // The synthetic features embed the class id, so same-class vertices are
+  // closer in feature space than cross-class ones on average.
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  double same = 0, cross = 0;
+  int n_same = 0, n_cross = 0;
+  const vid_t n = std::min<vid_t>(ds.n_vertices(), 128);
+  for (vid_t a = 0; a < n; ++a) {
+    for (vid_t b = a + 1; b < n; ++b) {
+      double d2 = 0;
+      for (vid_t j = 0; j < ds.n_features(); ++j) {
+        const double d = ds.features(a, j) - ds.features(b, j);
+        d2 += d * d;
+      }
+      if (ds.labels[a] == ds.labels[b]) {
+        same += d2;
+        ++n_same;
+      } else {
+        cross += d2;
+        ++n_cross;
+      }
+    }
+  }
+  ASSERT_GT(n_same, 0);
+  ASSERT_GT(n_cross, 0);
+  EXPECT_LT(same / n_same, cross / n_cross);
+}
+
+TEST(Datasets, AssembleFromCustomGraph) {
+  Rng rng(3);
+  CooMatrix adj = erdos_renyi(100, 400, rng);
+  std::vector<vid_t> communities(100);
+  for (vid_t v = 0; v < 100; ++v) communities[static_cast<std::size_t>(v)] = v / 25;
+  const Dataset ds = assemble_dataset("custom", std::move(adj), 8, 4, 7, &communities);
+  expect_well_formed(ds);
+  EXPECT_EQ(ds.labels[0], 0);
+  EXPECT_EQ(ds.labels[99], 3);
+}
+
+}  // namespace
+}  // namespace sagnn

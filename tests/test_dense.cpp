@@ -1,0 +1,134 @@
+// Dense matrix container and GEMM kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dense/gemm.hpp"
+#include "dense/matrix.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (vid_t r = 0; r < 3; ++r) {
+    for (vid_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(m(r, c), 0.0f);
+  }
+}
+
+TEST(Matrix, FromDataValidatesSize) {
+  EXPECT_THROW(Matrix(2, 2, {1.0f, 2.0f, 3.0f}), Error);
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  for (vid_t r = 0; r < 3; ++r) {
+    for (vid_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(eye(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(Matrix, GlorotWithinLimit) {
+  Rng rng(1);
+  const Matrix w = Matrix::glorot(64, 16, rng);
+  const real_t limit = std::sqrt(6.0f / (64 + 16));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    ASSERT_LE(std::abs(w.data()[i]), limit);
+  }
+}
+
+TEST(Matrix, SliceRows) {
+  Matrix m(4, 2, {0, 1, 2, 3, 4, 5, 6, 7});
+  const Matrix s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.n_rows(), 2);
+  EXPECT_FLOAT_EQ(s(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s(1, 1), 5.0f);
+  EXPECT_THROW(m.slice_rows(3, 5), Error);
+}
+
+TEST(Matrix, GatherScatterRoundTrip) {
+  Rng rng(2);
+  Matrix m = Matrix::random_uniform(8, 3, rng);
+  const std::vector<vid_t> rows{6, 1, 3};
+  const Matrix g = m.gather_rows(rows);
+  EXPECT_EQ(g.n_rows(), 3);
+  EXPECT_FLOAT_EQ(g(0, 0), m(6, 0));
+  EXPECT_FLOAT_EQ(g(1, 2), m(1, 2));
+  Matrix m2(8, 3);
+  m2.scatter_rows(rows, g);
+  EXPECT_FLOAT_EQ(m2(6, 1), m(6, 1));
+  EXPECT_FLOAT_EQ(m2(3, 2), m(3, 2));
+  EXPECT_FLOAT_EQ(m2(0, 0), 0.0f);
+}
+
+TEST(Matrix, GatherOutOfRangeThrows) {
+  Matrix m(2, 2);
+  const std::vector<vid_t> bad{0, 5};
+  EXPECT_THROW(m.gather_rows(bad), Error);
+}
+
+TEST(Matrix, Distances) {
+  Matrix a(1, 2, {0, 3});
+  Matrix b(1, 2, {4, 3});
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(b), 4.0);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 4.0);
+}
+
+TEST(Gemm, KnownSmallProduct) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = gemm(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(3);
+  const Matrix a = Matrix::random_uniform(5, 5, rng);
+  EXPECT_EQ(gemm(a, Matrix::identity(5)).max_abs_diff(a), 0.0);
+  EXPECT_EQ(gemm(Matrix::identity(5), a).max_abs_diff(a), 0.0);
+}
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  EXPECT_THROW(gemm(Matrix(2, 3), Matrix(4, 2)), Error);
+}
+
+TEST(Gemm, AtBMatchesExplicitTranspose) {
+  Rng rng(4);
+  const Matrix a = Matrix::random_uniform(7, 3, rng);
+  const Matrix b = Matrix::random_uniform(7, 5, rng);
+  // Build A^T explicitly and compare.
+  Matrix at(3, 7);
+  for (vid_t r = 0; r < 7; ++r) {
+    for (vid_t c = 0; c < 3; ++c) at(c, r) = a(r, c);
+  }
+  EXPECT_LT(gemm_at_b(a, b).max_abs_diff(gemm(at, b)), 1e-5);
+}
+
+TEST(Gemm, ABtMatchesExplicitTranspose) {
+  Rng rng(5);
+  const Matrix a = Matrix::random_uniform(4, 6, rng);
+  const Matrix b = Matrix::random_uniform(3, 6, rng);
+  Matrix bt(6, 3);
+  for (vid_t r = 0; r < 3; ++r) {
+    for (vid_t c = 0; c < 6; ++c) bt(c, r) = b(r, c);
+  }
+  EXPECT_LT(gemm_a_bt(a, b).max_abs_diff(gemm(a, bt)), 1e-5);
+}
+
+TEST(Gemm, AccumulateAddsToC) {
+  const Matrix a(1, 1, {2});
+  const Matrix b(1, 1, {3});
+  Matrix c(1, 1, {10});
+  gemm_accumulate(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 16.0f);
+}
+
+}  // namespace
+}  // namespace sagnn

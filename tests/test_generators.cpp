@@ -1,0 +1,101 @@
+// Graph generator properties: symmetry, simplicity, determinism, and the
+// structural regimes the dataset analogues rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+namespace {
+
+void expect_simple_symmetric(const CsrMatrix& a) {
+  EXPECT_EQ(a, a.transpose());
+  for (vid_t v = 0; v < a.n_rows(); ++v) {
+    EXPECT_FLOAT_EQ(a.at(v, v), 0.0f) << "self loop at " << v;
+  }
+  for (real_t x : a.vals()) EXPECT_FLOAT_EQ(x, 1.0f);
+}
+
+TEST(Generators, ErdosRenyiIsSimpleSymmetric) {
+  Rng rng(1);
+  expect_simple_symmetric(CsrMatrix::from_coo(erdos_renyi(100, 500, rng)));
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  Rng a(7), b(7);
+  EXPECT_EQ(CsrMatrix::from_coo(erdos_renyi(50, 200, a)),
+            CsrMatrix::from_coo(erdos_renyi(50, 200, b)));
+}
+
+TEST(Generators, RmatIsSimpleSymmetric) {
+  Rng rng(2);
+  expect_simple_symmetric(CsrMatrix::from_coo(rmat(8, 4, rng)));
+}
+
+TEST(Generators, RmatHasSkewedDegrees) {
+  // R-MAT's point: a heavy-tailed degree distribution (max degree far above
+  // the average), which drives communication imbalance.
+  Rng rng(3);
+  const CsrMatrix a = CsrMatrix::from_coo(rmat(11, 8, rng));
+  const DegreeStats st = degree_stats(a);
+  EXPECT_GT(st.max, 5 * st.avg);
+}
+
+TEST(Generators, ErdosRenyiDegreesAreFlat) {
+  Rng rng(4);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(2048, 2048 * 8, rng));
+  const DegreeStats st = degree_stats(a);
+  EXPECT_LT(st.max, 4 * st.avg);
+}
+
+TEST(Generators, ClusteredGraphIsSimpleSymmetric) {
+  Rng rng(5);
+  expect_simple_symmetric(
+      CsrMatrix::from_coo(clustered_graph(512, 64, 6, 0.1, rng)));
+}
+
+TEST(Generators, ClusteredGraphWithoutScrambleIsBlockLocal) {
+  // Without scrambling, nearly all edges stay within or next to the home
+  // cluster — the "regular" structure a partitioner can recover.
+  Rng rng(6);
+  const vid_t cluster = 64;
+  const CsrMatrix a = CsrMatrix::from_coo(
+      clustered_graph(1024, cluster, 8, 0.05, rng, /*scramble_ids=*/false));
+  eid_t near = 0;
+  for (vid_t v = 0; v < a.n_rows(); ++v) {
+    const vid_t cv = v / cluster;
+    for (vid_t u : a.row_cols(v)) {
+      const vid_t cu = u / cluster;
+      if (cu == cv || cu == (cv + 1) % 16 || cv == (cu + 1) % 16) ++near;
+    }
+  }
+  EXPECT_EQ(near, a.nnz());
+}
+
+TEST(Generators, RingOfCliquesKnownStructure) {
+  const CsrMatrix a = CsrMatrix::from_coo(ring_of_cliques(4, 5));
+  EXPECT_EQ(a.n_rows(), 20);
+  // Each clique contributes C(5,2)=10 undirected edges + 4 ring edges.
+  EXPECT_EQ(a.nnz(), 2 * (4 * 10 + 4));
+  expect_simple_symmetric(a);
+}
+
+TEST(Generators, GridGraphDegrees) {
+  const CsrMatrix a = CsrMatrix::from_coo(grid_graph(4, 5));
+  EXPECT_EQ(a.n_rows(), 20);
+  const DegreeStats st = degree_stats(a);
+  EXPECT_EQ(st.min, 2);  // corners
+  EXPECT_EQ(st.max, 4);  // interior
+  expect_simple_symmetric(a);
+}
+
+TEST(Generators, DegreeStatsOnEmpty) {
+  const DegreeStats st = degree_stats(CsrMatrix::zeros(0, 0));
+  EXPECT_EQ(st.max, 0);
+  EXPECT_DOUBLE_EQ(st.avg, 0.0);
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,88 @@
+// Matrix Market round trips and format handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sparse/io_mtx.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(IoMtx, RoundTripGeneral) {
+  Rng rng(1);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(30, 120, rng));
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const CsrMatrix b = CsrMatrix::from_coo(read_matrix_market(ss));
+  EXPECT_EQ(a, b);
+}
+
+TEST(IoMtx, ParsesSymmetricExpansion) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  const CooMatrix coo = read_matrix_market(ss);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_FLOAT_EQ(a.at(1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 5.0f);  // mirrored
+  EXPECT_FLOAT_EQ(a.at(2, 2), 7.0f);  // diagonal not duplicated
+}
+
+TEST(IoMtx, ParsesPatternField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 1\n");
+  const CsrMatrix a = CsrMatrix::from_coo(read_matrix_market(ss));
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 0), 1.0f);
+}
+
+TEST(IoMtx, ParsesIntegerField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 42\n");
+  const CsrMatrix a = CsrMatrix::from_coo(read_matrix_market(ss));
+  EXPECT_FLOAT_EQ(a.at(0, 1), 42.0f);
+}
+
+TEST(IoMtx, RejectsMissingBanner) {
+  std::stringstream ss("3 3 0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(IoMtx, RejectsUnsupportedFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(IoMtx, RejectsTruncatedStream) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(IoMtx, FileRoundTrip) {
+  Rng rng(2);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(16, 40, rng));
+  const std::string path = ::testing::TempDir() + "/sagnn_io_test.mtx";
+  write_matrix_market_file(path, a);
+  EXPECT_EQ(CsrMatrix::from_coo(read_matrix_market_file(path)), a);
+}
+
+TEST(IoMtx, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace sagnn

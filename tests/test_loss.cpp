@@ -1,0 +1,103 @@
+// Masked softmax cross-entropy: statistics and gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/loss.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  const Matrix logits(2, 4);  // all zeros -> uniform softmax
+  const std::vector<vid_t> labels{0, 3};
+  const std::vector<std::uint8_t> mask{1, 1};
+  const LossStats stats = softmax_xent_stats(logits, labels, mask);
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_NEAR(stats.mean_loss(), std::log(4.0), 1e-5);
+}
+
+TEST(Loss, MaskExcludesRows) {
+  Matrix logits(3, 2);
+  logits(0, 0) = 100.0f;  // confidently class 0
+  logits(1, 1) = 100.0f;
+  logits(2, 0) = 100.0f;
+  const std::vector<vid_t> labels{0, 1, 1};  // row 2 is wrong but unmasked
+  const std::vector<std::uint8_t> mask{1, 1, 0};
+  const LossStats stats = softmax_xent_stats(logits, labels, mask);
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_EQ(stats.correct, 2);
+  EXPECT_NEAR(stats.mean_loss(), 0.0, 1e-5);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 1.0);
+}
+
+TEST(Loss, GradZeroOnUnmaskedRows) {
+  Matrix logits(2, 3);
+  logits(0, 1) = 2.0f;
+  logits(1, 2) = 2.0f;
+  const std::vector<vid_t> labels{1, 2};
+  const std::vector<std::uint8_t> mask{0, 1};
+  const Matrix grad = softmax_xent_grad(logits, labels, mask, 1);
+  for (vid_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(grad(0, c), 0.0f);
+  // Masked row has nonzero gradient that sums to ~0.
+  real_t sum = 0;
+  bool nonzero = false;
+  for (vid_t c = 0; c < 3; ++c) {
+    sum += grad(1, c);
+    nonzero |= grad(1, c) != 0.0f;
+  }
+  EXPECT_TRUE(nonzero);
+  EXPECT_NEAR(sum, 0.0f, 1e-6f);
+}
+
+TEST(Loss, GradMatchesFiniteDifference) {
+  Rng rng(1);
+  Matrix logits = Matrix::random_uniform(4, 5, rng);
+  const std::vector<vid_t> labels{1, 0, 4, 2};
+  const std::vector<std::uint8_t> mask{1, 0, 1, 1};
+  const Matrix grad = softmax_xent_grad(logits, labels, mask, 3);
+
+  const double eps = 1e-3;
+  for (vid_t r = 0; r < 4; ++r) {
+    for (vid_t c = 0; c < 5; ++c) {
+      Matrix lp = logits, lm = logits;
+      lp(r, c) += static_cast<real_t>(eps);
+      lm(r, c) -= static_cast<real_t>(eps);
+      const double fp = softmax_xent_stats(lp, labels, mask).loss_sum / 3.0;
+      const double fm = softmax_xent_stats(lm, labels, mask).loss_sum / 3.0;
+      const double fd = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(grad(r, c), fd, 5e-3) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Loss, GradRespectsGlobalCount) {
+  // Distributed use: the local gradient is scaled by the GLOBAL count.
+  Matrix logits(1, 2);
+  logits(0, 0) = 1.0f;
+  const std::vector<vid_t> labels{0};
+  const std::vector<std::uint8_t> mask{1};
+  const Matrix g1 = softmax_xent_grad(logits, labels, mask, 1);
+  const Matrix g4 = softmax_xent_grad(logits, labels, mask, 4);
+  EXPECT_NEAR(g4(0, 0) * 4.0f, g1(0, 0), 1e-6f);
+}
+
+TEST(Loss, LabelOutOfRangeThrows) {
+  const Matrix logits(1, 2);
+  const std::vector<vid_t> labels{5};
+  const std::vector<std::uint8_t> mask{1};
+  EXPECT_THROW(softmax_xent_stats(logits, labels, mask), Error);
+}
+
+TEST(Loss, EmptyMaskIsZeroStats) {
+  const Matrix logits(2, 2);
+  const std::vector<vid_t> labels{0, 1};
+  const std::vector<std::uint8_t> mask{0, 0};
+  const LossStats stats = softmax_xent_stats(logits, labels, mask);
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_loss(), 0.0);
+  EXPECT_THROW(softmax_xent_grad(logits, labels, mask, 0), Error);
+}
+
+}  // namespace
+}  // namespace sagnn

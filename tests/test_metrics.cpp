@@ -1,0 +1,119 @@
+// Communication-volume model tests: hand-checked small cases and summary
+// arithmetic (edgecut, per-pair rows, imbalance).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Metrics, PathGraphTwoParts) {
+  // Path 0-1-2-3 split {0,1} | {2,3}: one cut edge (1,2); vertex 1 must be
+  // sent to part 1 and vertex 2 to part 0.
+  CooMatrix coo(4, 4);
+  coo.add(0, 1, 1);
+  coo.add(1, 2, 1);
+  coo.add(2, 3, 1);
+  coo.symmetrize();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Partition part;
+  part.k = 2;
+  part.part_of = {0, 0, 1, 1};
+  const auto stats = compute_volume_stats(a, part);
+  EXPECT_EQ(stats.edgecut, 1);
+  EXPECT_EQ(stats.pair_rows[0 * 2 + 1], 1u);
+  EXPECT_EQ(stats.pair_rows[1 * 2 + 0], 1u);
+  EXPECT_EQ(stats.total_rows(), 2u);
+  EXPECT_EQ(stats.max_send_rows(), 1u);
+  EXPECT_NEAR(stats.send_imbalance_percent(), 0.0, 1e-9);
+}
+
+TEST(Metrics, HubVertexCountedOncePerDestination) {
+  // Star: center 0 in part 0, leaves 1..4 split across parts 1 and 2. The
+  // center's row is needed by both other parts but counted once each.
+  CooMatrix coo(5, 5);
+  for (vid_t l = 1; l < 5; ++l) coo.add(0, l, 1);
+  coo.symmetrize();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Partition part;
+  part.k = 3;
+  part.part_of = {0, 1, 1, 2, 2};
+  const auto stats = compute_volume_stats(a, part);
+  EXPECT_EQ(stats.send_rows(0), 2u);  // 0 -> part1 and 0 -> part2
+  EXPECT_EQ(stats.send_rows(1), 2u);  // leaves 1,2 -> part 0
+  EXPECT_EQ(stats.send_rows(2), 2u);
+  EXPECT_EQ(stats.edgecut, 4);
+}
+
+TEST(Metrics, SelfLoopsDoNotGenerateVolume) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1);
+  coo.add(1, 1, 1);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Partition part;
+  part.k = 2;
+  part.part_of = {0, 1};
+  const auto stats = compute_volume_stats(a, part);
+  EXPECT_EQ(stats.total_rows(), 0u);
+  EXPECT_EQ(stats.edgecut, 0);
+}
+
+TEST(Metrics, MegabyteConversion) {
+  VolumeStats stats;
+  stats.k = 2;
+  stats.pair_rows = {0, 1000, 500, 0};
+  // 1500 rows * 300 features * 4 bytes = 1.8 MB.
+  EXPECT_NEAR(stats.total_megabytes(300), 1.8, 1e-9);
+  EXPECT_NEAR(stats.max_send_megabytes(300), 1.2, 1e-9);
+  EXPECT_NEAR(stats.avg_send_megabytes(300), 0.9, 1e-9);
+}
+
+TEST(Metrics, ImbalanceMatchesPaperDefinition) {
+  VolumeStats stats;
+  stats.k = 2;
+  stats.pair_rows = {0, 300, 100, 0};
+  // avg send = 200, max = 300 -> 50%.
+  EXPECT_NEAR(stats.send_imbalance_percent(), 50.0, 1e-9);
+}
+
+TEST(Metrics, ComputeLoadImbalance) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 1, 1);
+  coo.add(0, 2, 1);
+  coo.add(0, 3, 1);
+  coo.symmetrize();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);  // degrees: 3,1,1,1
+  Partition part;
+  part.k = 2;
+  part.part_of = {0, 0, 1, 1};
+  // nnz: part0 = 4, part1 = 2, avg = 3 -> imbalance 4/3.
+  EXPECT_NEAR(compute_load_imbalance(a, part), 4.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, VolumeScalesDownWithFewerParts) {
+  Rng rng(3);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(300, 3000, rng));
+  Partition p2, p8;
+  p2.k = 2;
+  p8.k = 8;
+  p2.part_of.resize(300);
+  p8.part_of.resize(300);
+  for (vid_t v = 0; v < 300; ++v) {
+    p2.part_of[static_cast<std::size_t>(v)] = v % 2;
+    p8.part_of[static_cast<std::size_t>(v)] = v % 8;
+  }
+  EXPECT_LE(compute_volume_stats(a, p2).total_rows(),
+            compute_volume_stats(a, p8).total_rows());
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const CsrMatrix a = CsrMatrix::zeros(4, 4);
+  Partition part;
+  part.k = 2;
+  part.part_of = {0, 1};
+  EXPECT_THROW(compute_volume_stats(a, part), Error);
+}
+
+}  // namespace
+}  // namespace sagnn

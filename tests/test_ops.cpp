@@ -1,0 +1,88 @@
+// Elementwise/rowwise dense operations used by GCN training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dense/ops.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Ops, ReluClampsNegatives) {
+  const Matrix z(2, 2, {-1, 2, 0, -3});
+  const Matrix h = relu(z);
+  EXPECT_FLOAT_EQ(h(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(h(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(h(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(h(1, 1), 0.0f);
+}
+
+TEST(Ops, ReluGradIsIndicator) {
+  const Matrix z(1, 4, {-1, 0, 0.5, 3});
+  const Matrix g = relu_grad(z);
+  EXPECT_FLOAT_EQ(g(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g(0, 1), 0.0f);  // subgradient at 0 chosen as 0
+  EXPECT_FLOAT_EQ(g(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(g(0, 3), 1.0f);
+}
+
+TEST(Ops, HadamardAndInplace) {
+  const Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {4, 5, 6});
+  const Matrix c = hadamard(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(c(0, 2), 18.0f);
+  Matrix d = a;
+  hadamard_inplace(d, b);
+  EXPECT_EQ(d.max_abs_diff(c), 0.0);
+  Matrix wrong(2, 2);
+  EXPECT_THROW(hadamard_inplace(wrong, b), Error);
+}
+
+TEST(Ops, AddAndAxpy) {
+  Matrix a(1, 2, {1, 2});
+  const Matrix b(1, 2, {10, 20});
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a(0, 1), 22.0f);
+  axpy_inplace(a, b, 0.5f);  // a -= 0.5*b
+  EXPECT_FLOAT_EQ(a(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 12.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  const Matrix z = Matrix::random_uniform(10, 7, rng, -5, 5);
+  const Matrix p = row_softmax(z);
+  for (vid_t r = 0; r < 10; ++r) {
+    real_t sum = 0;
+    for (vid_t c = 0; c < 7; ++c) {
+      ASSERT_GT(p(r, c), 0.0f);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  const Matrix z1(1, 3, {1, 2, 3});
+  const Matrix z2(1, 3, {101, 102, 103});
+  EXPECT_LT(row_softmax(z1).max_abs_diff(row_softmax(z2)), 1e-6);
+}
+
+TEST(Ops, SoftmaxHandlesLargeMagnitudes) {
+  const Matrix z(1, 2, {1000.0f, -1000.0f});
+  const Matrix p = row_softmax(z);
+  EXPECT_NEAR(p(0, 0), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p(0, 1)));
+}
+
+TEST(Ops, RowArgmax) {
+  const Matrix z(2, 3, {1, 5, 2, 9, 0, 9});
+  const auto am = row_argmax(z);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);  // ties break to the first maximum
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,71 @@
+// SGD and Adam optimizers.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gnn/optimizer.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Sgd, StepIsLinear) {
+  Sgd opt(0.5f);
+  Matrix w(1, 2, {1.0f, -1.0f});
+  opt.step(w, Matrix(1, 2, {2.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(w(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(w(0, 1), -2.0f);
+}
+
+TEST(Adam, FirstStepMovesByLr) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Adam opt(0.1f);
+  Matrix w(1, 2, {0.0f, 0.0f});
+  opt.step(0, w, Matrix(1, 2, {3.0f, -7.0f}));
+  EXPECT_NEAR(w(0, 0), -0.1f, 1e-3f);
+  EXPECT_NEAR(w(0, 1), 0.1f, 1e-3f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with gradient 2(w-3).
+  Adam opt(0.2f);
+  Matrix w(1, 1, {0.0f});
+  for (int i = 0; i < 300; ++i) {
+    const Matrix grad(1, 1, {2.0f * (w(0, 0) - 3.0f)});
+    opt.step(0, w, grad);
+  }
+  EXPECT_NEAR(w(0, 0), 3.0f, 0.05f);
+}
+
+TEST(Adam, IndependentSlots) {
+  Adam opt(0.1f);
+  Matrix w0(1, 1, {0.0f}), w1(1, 1, {0.0f});
+  for (int i = 0; i < 10; ++i) {
+    opt.step(0, w0, Matrix(1, 1, {1.0f}));
+  }
+  opt.step(1, w1, Matrix(1, 1, {1.0f}));
+  // Slot 1 just took its first step; it must not inherit slot 0 momentum.
+  EXPECT_NEAR(w1(0, 0), -0.1f, 1e-3f);
+  EXPECT_LT(w0(0, 0), w1(0, 0));
+}
+
+TEST(Adam, ShapeMismatchThrows) {
+  Adam opt(0.1f);
+  Matrix w(2, 2);
+  EXPECT_THROW(opt.step(0, w, Matrix(1, 2)), Error);
+}
+
+TEST(Adam, DeterministicAcrossInstances) {
+  // Replicated ranks run their own Adam instances; identical gradient
+  // streams must give identical weights.
+  Adam a(0.05f), b(0.05f);
+  Rng rng(9);
+  Matrix wa(2, 3), wb(2, 3);
+  for (int i = 0; i < 20; ++i) {
+    const Matrix g = Matrix::random_uniform(2, 3, rng);
+    a.step(0, wa, g);
+    b.step(0, wb, g);
+  }
+  EXPECT_EQ(wa.max_abs_diff(wb), 0.0);
+}
+
+}  // namespace
+}  // namespace sagnn

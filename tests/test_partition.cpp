@@ -1,0 +1,163 @@
+// Partitioner correctness: validity, balance, determinism, relabeling, and
+// known-optimum structures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "sparse/permute.hpp"
+
+namespace sagnn {
+namespace {
+
+CsrMatrix test_graph(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return CsrMatrix::from_coo(erdos_renyi(400, 2400, rng));
+}
+
+TEST(Partition, PartSizesAndValidate) {
+  Partition p;
+  p.k = 3;
+  p.part_of = {0, 1, 1, 2, 0};
+  p.validate();
+  EXPECT_EQ(p.part_sizes(), (std::vector<vid_t>{2, 2, 1}));
+}
+
+TEST(Partition, ValidateRejectsOutOfRangeAndEmpty) {
+  Partition p;
+  p.k = 2;
+  p.part_of = {0, 3};
+  EXPECT_THROW(p.validate(), Error);
+  p.part_of = {0, 0};
+  EXPECT_THROW(p.validate(), Error);  // part 1 empty
+}
+
+TEST(Partition, RelabelPermutationContiguousAndOrderPreserving) {
+  Partition p;
+  p.k = 2;
+  p.part_of = {1, 0, 1, 0};
+  const auto perm = p.relabel_permutation();
+  EXPECT_TRUE(is_permutation(perm));
+  // Part 0 members (vertices 1, 3) get labels 0,1 in original order.
+  EXPECT_EQ(perm[1], 0);
+  EXPECT_EQ(perm[3], 1);
+  EXPECT_EQ(perm[0], 2);
+  EXPECT_EQ(perm[2], 3);
+}
+
+class PartitionerValidity
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PartitionerValidity, ProducesValidBalancedPartition) {
+  const auto& [name, k] = GetParam();
+  const CsrMatrix a = test_graph();
+  const auto part = make_partitioner(name)->partition(a, k);
+  part.validate();
+  EXPECT_EQ(part.n(), a.n_rows());
+  EXPECT_EQ(part.k, k);
+  // Vertex-count balance within a generous envelope (optimizing
+  // partitioners balance nnz, which on ER graphs tracks vertices).
+  const auto sizes = part.part_sizes();
+  const double avg = static_cast<double>(a.n_rows()) / k;
+  for (vid_t s : sizes) EXPECT_LT(s, 1.6 * avg + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPartitioners, PartitionerValidity,
+    ::testing::Combine(::testing::Values("block", "random", "metis", "gvb"),
+                       ::testing::Values(1, 2, 4, 7, 16)));
+
+TEST(Partition, BlockPartitionerIsContiguous) {
+  const CsrMatrix a = test_graph();
+  const auto part = BlockPartitioner().partition(a, 5);
+  for (vid_t v = 1; v < a.n_rows(); ++v) {
+    EXPECT_GE(part.part_of[static_cast<std::size_t>(v)],
+              part.part_of[static_cast<std::size_t>(v - 1)]);
+  }
+}
+
+TEST(Partition, RandomPartitionerIsDeterministicPerSeed) {
+  const CsrMatrix a = test_graph();
+  const auto p1 = RandomPartitioner(5).partition(a, 4);
+  const auto p2 = RandomPartitioner(5).partition(a, 4);
+  const auto p3 = RandomPartitioner(6).partition(a, 4);
+  EXPECT_EQ(p1.part_of, p2.part_of);
+  EXPECT_NE(p1.part_of, p3.part_of);
+}
+
+TEST(Partition, MultilevelIsDeterministicPerSeed) {
+  const CsrMatrix a = test_graph();
+  PartitionerOptions opts;
+  opts.seed = 77;
+  const auto p1 = EdgeCutPartitioner(opts).partition(a, 8);
+  const auto p2 = EdgeCutPartitioner(opts).partition(a, 8);
+  EXPECT_EQ(p1.part_of, p2.part_of);
+}
+
+TEST(Partition, MultilevelRecoversRingOfCliques) {
+  // k cliques joined in a ring: the optimal k-way cut is exactly k ring
+  // edges; a competent partitioner should land on (or very near) it.
+  const CsrMatrix a = CsrMatrix::from_coo(ring_of_cliques(8, 16));
+  const auto part = EdgeCutPartitioner().partition(a, 8);
+  const auto stats = compute_volume_stats(a, part);
+  EXPECT_LE(stats.edgecut, 16);  // optimum is 8; allow slack
+}
+
+TEST(Partition, MultilevelBeatsRandomOnEdgecut) {
+  Rng rng(9);
+  const CsrMatrix a =
+      CsrMatrix::from_coo(clustered_graph(1024, 64, 8, 0.05, rng));
+  const auto random_cut =
+      compute_volume_stats(a, RandomPartitioner().partition(a, 8)).edgecut;
+  const auto metis_cut =
+      compute_volume_stats(a, EdgeCutPartitioner().partition(a, 8)).edgecut;
+  EXPECT_LT(metis_cut, random_cut / 4);
+}
+
+TEST(Partition, GvbValidOnCliqueRing) {
+  const CsrMatrix a = CsrMatrix::from_coo(ring_of_cliques(6, 12));
+  const auto part = GvbPartitioner().partition(a, 6);
+  part.validate();
+  const auto stats = compute_volume_stats(a, part);
+  EXPECT_LE(stats.edgecut, 14);
+}
+
+TEST(Partition, FactoryRejectsUnknown) {
+  EXPECT_THROW(make_partitioner("zoltan"), Error);
+}
+
+TEST(Partition, SinglePartIsTrivial) {
+  const CsrMatrix a = test_graph();
+  for (const char* name : {"block", "random", "metis", "gvb"}) {
+    const auto part = make_partitioner(name)->partition(a, 1);
+    const auto stats = compute_volume_stats(a, part);
+    EXPECT_EQ(stats.edgecut, 0) << name;
+    EXPECT_EQ(stats.total_rows(), 0u) << name;
+  }
+}
+
+TEST(Partition, RelabeledMatrixHasContiguousParts) {
+  const CsrMatrix a = test_graph();
+  const auto part = EdgeCutPartitioner().partition(a, 4);
+  const auto perm = part.relabel_permutation();
+  const CsrMatrix b = permute_symmetric(a, perm);
+  // After relabeling, block-partitioning by part sizes must reproduce the
+  // same edgecut as the original partition.
+  const auto ranges_sizes = part.part_sizes();
+  Partition blocked;
+  blocked.k = part.k;
+  blocked.part_of.resize(part.part_of.size());
+  vid_t v = 0;
+  for (int p = 0; p < part.k; ++p) {
+    for (vid_t i = 0; i < ranges_sizes[static_cast<std::size_t>(p)]; ++i) {
+      blocked.part_of[static_cast<std::size_t>(v++)] = static_cast<vid_t>(p);
+    }
+  }
+  EXPECT_EQ(compute_volume_stats(b, blocked).edgecut,
+            compute_volume_stats(a, part).edgecut);
+}
+
+}  // namespace
+}  // namespace sagnn

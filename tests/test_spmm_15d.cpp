@@ -1,0 +1,173 @@
+// Distributed 1.5D SpMM (Algorithm 2): grid layout, correctness against
+// serial SpMM across (p, c) combinations and both modes, replication
+// consistency, and the c=1 degeneration.
+#include <gtest/gtest.h>
+
+#include "dist/spmm_15d.hpp"
+#include "graph/generators.hpp"
+#include "simcomm/cluster.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(GridLayout, ShapeAndIndexing) {
+  const GridLayout g = GridLayout::make(8, 2);
+  EXPECT_EQ(g.rows, 4);
+  EXPECT_EQ(g.s, 2);
+  EXPECT_EQ(g.grid_row(5), 2);
+  EXPECT_EQ(g.grid_col(5), 1);
+  EXPECT_EQ(g.rank_of(2, 1), 5);
+}
+
+TEST(GridLayout, RejectsIndivisible) {
+  EXPECT_THROW(GridLayout::make(6, 2), Error);  // c^2=4 does not divide 6
+  EXPECT_THROW(GridLayout::make(8, 0), Error);
+}
+
+struct Case15 {
+  vid_t n;
+  eid_t m;
+  vid_t f;
+  int p;
+  int c;
+  SpmmMode mode;
+};
+
+Matrix run_dist_15d(const CsrMatrix& a, const Matrix& h, int p, int c,
+                    SpmmMode mode, TrafficRecorder* traffic_out = nullptr) {
+  const int rows = p / c;
+  const auto ranges = uniform_block_ranges(a.n_rows(), rows);
+  Matrix result(a.n_rows(), h.n_cols());
+  std::vector<Matrix> replicas(static_cast<std::size_t>(p));
+  Cluster cluster(p);
+  cluster.run([&](Comm& comm) {
+    DistSpmm15d spmm_dist(comm, a, ranges, c, mode);
+    const BlockRange r = spmm_dist.my_range();
+    const Matrix h_local = h.slice_rows(r.begin, r.end);
+    const Matrix z_local = spmm_dist.multiply(h_local);
+    replicas[static_cast<std::size_t>(comm.rank())] = z_local;
+    if (spmm_dist.layout().grid_col(comm.rank()) == 0) {
+      for (vid_t i = 0; i < z_local.n_rows(); ++i) {
+        std::copy(z_local.row(i), z_local.row(i) + z_local.n_cols(),
+                  result.row(r.begin + i));
+      }
+    }
+  });
+  // Replication consistency: all ranks in a process row hold identical Z.
+  const GridLayout g = GridLayout::make(p, c);
+  for (int rank = 0; rank < p; ++rank) {
+    const int row0 = g.rank_of(g.grid_row(rank), 0);
+    EXPECT_EQ(replicas[static_cast<std::size_t>(rank)].max_abs_diff(
+                  replicas[static_cast<std::size_t>(row0)]),
+              0.0)
+        << "rank " << rank << " disagrees with its process row";
+  }
+  if (traffic_out != nullptr) *traffic_out = cluster.traffic();
+  return result;
+}
+
+class Spmm15dMatchesSerial : public ::testing::TestWithParam<Case15> {};
+
+TEST_P(Spmm15dMatchesSerial, Agrees) {
+  const Case15 c = GetParam();
+  Rng rng(c.n + c.p * 31 + c.c);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(c.n, c.m, rng));
+  const Matrix h = Matrix::random_uniform(c.n, c.f, rng);
+  const Matrix z = run_dist_15d(a, h, c.p, c.c, c.mode);
+  EXPECT_LT(z.max_abs_diff(spmm(a, h)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Spmm15dMatchesSerial,
+    ::testing::Values(Case15{64, 400, 4, 4, 1, SpmmMode::kOblivious},
+                      Case15{64, 400, 4, 4, 1, SpmmMode::kSparsityAware},
+                      Case15{64, 400, 4, 4, 2, SpmmMode::kOblivious},
+                      Case15{64, 400, 4, 4, 2, SpmmMode::kSparsityAware},
+                      Case15{96, 800, 8, 8, 2, SpmmMode::kOblivious},
+                      Case15{96, 800, 8, 8, 2, SpmmMode::kSparsityAware},
+                      Case15{96, 800, 6, 16, 4, SpmmMode::kOblivious},
+                      Case15{96, 800, 6, 16, 4, SpmmMode::kSparsityAware},
+                      Case15{50, 300, 3, 9, 3, SpmmMode::kSparsityAware},
+                      Case15{128, 1200, 8, 16, 2, SpmmMode::kSparsityAware}));
+
+TEST(Spmm15d, C1MatchesP2PVolumeOf1D) {
+  // With c=1 the 1.5D algorithm degenerates to a 1D decomposition; the
+  // sparsity-aware row-exchange volume must equal the 1D prediction.
+  Rng rng(3);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(60, 400, rng));
+  const Matrix h = Matrix::random_uniform(60, 4, rng);
+  TrafficRecorder traffic(1);
+  run_dist_15d(a, h, 4, 1, SpmmMode::kSparsityAware, &traffic);
+  const auto ranges = uniform_block_ranges(60, 4);
+  std::uint64_t predicted = 0;
+  for (int r = 0; r < 4; ++r) {
+    predicted += DistCsr(a, ranges, r).total_needed_rows_remote();
+  }
+  predicted *= 4 * sizeof(real_t);
+  EXPECT_EQ(traffic.phase("alltoall").total_bytes(), predicted);
+}
+
+TEST(Spmm15d, ReplicationReducesRowExchangeVolume) {
+  // Increasing c reduces the number of off-diagonal blocks each rank must
+  // fetch rows for (at the price of the all-reduce) — the 1.5D tradeoff.
+  Rng rng(4);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(128, 2000, rng));
+  const Matrix h = Matrix::random_uniform(128, 8, rng);
+  TrafficRecorder t1(1), t2(1);
+  run_dist_15d(a, h, 16, 1, SpmmMode::kSparsityAware, &t1);
+  run_dist_15d(a, h, 16, 2, SpmmMode::kSparsityAware, &t2);
+  EXPECT_LT(t2.phase("alltoall").total_bytes(), t1.phase("alltoall").total_bytes());
+  EXPECT_GT(t2.phase("allreduce").total_bytes(), t1.phase("allreduce").total_bytes());
+}
+
+TEST(Spmm15d, ObliviousBcastVolumeIndependentOfSparsity) {
+  // The oblivious algorithm moves the same bytes for a dense-ish and a
+  // nearly-diagonal graph of equal size; the sparsity-aware one does not.
+  const vid_t n = 64;
+  Rng rng(5);
+  const CsrMatrix dense_g = CsrMatrix::from_coo(erdos_renyi(n, 1200, rng));
+  CooMatrix diag(n, n);
+  for (vid_t v = 0; v + 1 < n; v += 2) diag.add(v, v + 1, 1.0f);
+  diag.symmetrize();
+  const CsrMatrix sparse_g = CsrMatrix::from_coo(diag);
+  const Matrix h = Matrix::random_uniform(n, 4, rng);
+
+  TrafficRecorder obl_dense(1), obl_sparse(1), sa_dense(1), sa_sparse(1);
+  run_dist_15d(dense_g, h, 8, 2, SpmmMode::kOblivious, &obl_dense);
+  run_dist_15d(sparse_g, h, 8, 2, SpmmMode::kOblivious, &obl_sparse);
+  run_dist_15d(dense_g, h, 8, 2, SpmmMode::kSparsityAware, &sa_dense);
+  run_dist_15d(sparse_g, h, 8, 2, SpmmMode::kSparsityAware, &sa_sparse);
+
+  EXPECT_EQ(obl_dense.phase("bcast").total_bytes(),
+            obl_sparse.phase("bcast").total_bytes());
+  EXPECT_LT(sa_sparse.phase("alltoall").total_bytes(),
+            sa_dense.phase("alltoall").total_bytes());
+}
+
+TEST(Spmm15d, RepeatedMultipliesStayCorrect) {
+  Rng rng(6);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(48, 300, rng));
+  const auto ranges = uniform_block_ranges(48, 4);
+  Matrix h = Matrix::random_uniform(48, 3, rng);
+  Matrix expected = h;
+  for (int i = 0; i < 3; ++i) expected = spmm(a, expected);
+
+  Matrix result(48, 3);
+  Cluster cluster(8);
+  cluster.run([&](Comm& comm) {
+    DistSpmm15d spmm_dist(comm, a, ranges, 2, SpmmMode::kSparsityAware);
+    const BlockRange r = spmm_dist.my_range();
+    Matrix h_local = h.slice_rows(r.begin, r.end);
+    for (int i = 0; i < 3; ++i) h_local = spmm_dist.multiply(h_local);
+    if (spmm_dist.layout().grid_col(comm.rank()) == 0) {
+      for (vid_t i = 0; i < h_local.n_rows(); ++i) {
+        std::copy(h_local.row(i), h_local.row(i) + 3, result.row(r.begin + i));
+      }
+    }
+  });
+  EXPECT_LT(result.max_abs_diff(expected), 1e-3);
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,208 @@
+// Distributed 1D SpMM: both modes must equal the serial product across
+// graphs, rank counts and feature widths; the sparsity-aware mode must also
+// communicate strictly less on partitionable graphs.
+#include <gtest/gtest.h>
+
+#include "dist/spmm_1d.hpp"
+#include "graph/generators.hpp"
+#include "simcomm/cluster.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+namespace {
+
+struct Case {
+  vid_t n;
+  eid_t m;
+  vid_t f;
+  int p;
+  SpmmMode mode;
+};
+
+Matrix run_dist_1d(const CsrMatrix& a, const Matrix& h, int p, SpmmMode mode,
+                   TrafficRecorder* traffic_out = nullptr) {
+  const auto ranges = uniform_block_ranges(a.n_rows(), p);
+  Matrix result(a.n_rows(), h.n_cols());
+  Cluster cluster(p);
+  cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, mode);
+    const BlockRange r = spmm_dist.my_range();
+    const Matrix h_local = h.slice_rows(r.begin, r.end);
+    const Matrix z_local = spmm_dist.multiply(comm, h_local);
+    // Stitch results into the shared output (disjoint row ranges).
+    for (vid_t i = 0; i < z_local.n_rows(); ++i) {
+      std::copy(z_local.row(i), z_local.row(i) + z_local.n_cols(),
+                result.row(r.begin + i));
+    }
+  });
+  if (traffic_out != nullptr) *traffic_out = cluster.traffic();
+  return result;
+}
+
+class Spmm1dMatchesSerial : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Spmm1dMatchesSerial, Agrees) {
+  const Case c = GetParam();
+  Rng rng(c.n + c.p);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(c.n, c.m, rng));
+  const Matrix h = Matrix::random_uniform(c.n, c.f, rng);
+  const Matrix z = run_dist_1d(a, h, c.p, c.mode);
+  EXPECT_LT(z.max_abs_diff(spmm(a, h)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Spmm1dMatchesSerial,
+    ::testing::Values(Case{16, 60, 3, 1, SpmmMode::kOblivious},
+                      Case{16, 60, 3, 1, SpmmMode::kSparsityAware},
+                      Case{64, 400, 8, 4, SpmmMode::kOblivious},
+                      Case{64, 400, 8, 4, SpmmMode::kSparsityAware},
+                      Case{100, 700, 5, 7, SpmmMode::kOblivious},
+                      Case{100, 700, 5, 7, SpmmMode::kSparsityAware},
+                      Case{128, 1500, 16, 16, SpmmMode::kOblivious},
+                      Case{128, 1500, 16, 16, SpmmMode::kSparsityAware},
+                      Case{37, 150, 2, 5, SpmmMode::kSparsityAware},
+                      Case{256, 4000, 4, 8, SpmmMode::kSparsityAware}));
+
+TEST(Spmm1d, SparseVolumeNeverExceedsOblivious) {
+  Rng rng(9);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(96, 500, rng));
+  const Matrix h = Matrix::random_uniform(96, 8, rng);
+  TrafficRecorder tr_obl(1), tr_sa(1);
+  run_dist_1d(a, h, 6, SpmmMode::kOblivious, &tr_obl);
+  run_dist_1d(a, h, 6, SpmmMode::kSparsityAware, &tr_sa);
+  const auto obl = tr_obl.phase("bcast").total_bytes();
+  const auto sa = tr_sa.phase("alltoall").total_bytes();
+  EXPECT_GT(obl, 0u);
+  EXPECT_LE(sa, obl);
+}
+
+TEST(Spmm1d, BlockLocalGraphIsCommunicationFree) {
+  // Edges only within blocks: the sparsity-aware all-to-all must carry
+  // zero remote payload ("communication-free training" regime).
+  CooMatrix coo(32, 32);
+  for (vid_t v = 0; v < 32; v += 8) {
+    for (vid_t i = 0; i < 7; ++i) coo.add(v + i, v + i + 1, 1.0f);
+  }
+  coo.symmetrize();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Rng rng(1);
+  const Matrix h = Matrix::random_uniform(32, 4, rng);
+  TrafficRecorder traffic(1);
+  const Matrix z = run_dist_1d(a, h, 4, SpmmMode::kSparsityAware, &traffic);
+  EXPECT_LT(z.max_abs_diff(spmm(a, h)), 1e-5);
+  EXPECT_EQ(traffic.phase("alltoall").total_bytes(), 0u);
+}
+
+TEST(Spmm1d, SparseVolumeMatchesNnzColsPrediction) {
+  Rng rng(10);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(80, 400, rng));
+  const vid_t f = 8;
+  const Matrix h = Matrix::random_uniform(80, f, rng);
+  const int p = 5;
+  // Predict: sum over ranks of remote needed rows * f * sizeof(real_t).
+  const auto ranges = uniform_block_ranges(80, p);
+  std::uint64_t predicted = 0;
+  for (int r = 0; r < p; ++r) {
+    predicted += DistCsr(a, ranges, r).total_needed_rows_remote();
+  }
+  predicted *= static_cast<std::uint64_t>(f) * sizeof(real_t);
+  TrafficRecorder traffic(1);
+  run_dist_1d(a, h, p, SpmmMode::kSparsityAware, &traffic);
+  EXPECT_EQ(traffic.phase("alltoall").total_bytes(), predicted);
+}
+
+TEST(Spmm1d, RepeatedMultipliesStayCorrect) {
+  // The index exchange happens once; multiple multiplies (as in training)
+  // must all be right.
+  Rng rng(11);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(40, 240, rng));
+  const auto ranges = uniform_block_ranges(40, 4);
+  Matrix h = Matrix::random_uniform(40, 4, rng);
+  Matrix expected = h;
+  for (int iter = 0; iter < 3; ++iter) expected = spmm(a, expected);
+
+  Matrix result(40, 4);
+  Cluster cluster(4);
+  cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, SpmmMode::kSparsityAware);
+    const BlockRange r = spmm_dist.my_range();
+    Matrix h_local = h.slice_rows(r.begin, r.end);
+    for (int iter = 0; iter < 3; ++iter) {
+      h_local = spmm_dist.multiply(comm, h_local);
+    }
+    for (vid_t i = 0; i < h_local.n_rows(); ++i) {
+      std::copy(h_local.row(i), h_local.row(i) + 4, result.row(r.begin + i));
+    }
+  });
+  EXPECT_LT(result.max_abs_diff(expected), 1e-3);
+}
+
+TEST(Spmm1d, HandlesEmptyBlocks) {
+  // A rank may own zero rows (degenerate partitions); the algorithms must
+  // still work — its block contributes nothing and it requests nothing.
+  Rng rng(13);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(30, 120, rng));
+  const Matrix h = Matrix::random_uniform(30, 3, rng);
+  const std::vector<vid_t> sizes{10, 0, 20};
+  const auto ranges = ranges_from_sizes(sizes);
+  for (SpmmMode mode : {SpmmMode::kOblivious, SpmmMode::kSparsityAware}) {
+    Matrix result(30, 3);
+    Cluster cluster(3);
+    cluster.run([&](Comm& comm) {
+      DistSpmm1d spmm_dist(comm, a, ranges, mode);
+      const BlockRange r = spmm_dist.my_range();
+      const Matrix z = spmm_dist.multiply(comm, h.slice_rows(r.begin, r.end));
+      for (vid_t i = 0; i < z.n_rows(); ++i) {
+        std::copy(z.row(i), z.row(i) + 3, result.row(r.begin + i));
+      }
+    });
+    EXPECT_LT(result.max_abs_diff(spmm(a, h)), 1e-4);
+  }
+}
+
+TEST(Spmm1d, WorksOnDisconnectedGraph) {
+  // Two components split across ranks: zero cross traffic for SA when the
+  // blocks align with components.
+  CooMatrix coo(20, 20);
+  for (vid_t v = 0; v < 9; ++v) coo.add(v, v + 1, 1.0f);
+  for (vid_t v = 10; v < 19; ++v) coo.add(v, v + 1, 1.0f);
+  coo.symmetrize();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Rng rng(14);
+  const Matrix h = Matrix::random_uniform(20, 2, rng);
+  TrafficRecorder traffic(1);
+  const auto ranges = uniform_block_ranges(20, 2);
+  Matrix result(20, 2);
+  Cluster cluster(2);
+  cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, SpmmMode::kSparsityAware);
+    const BlockRange r = spmm_dist.my_range();
+    const Matrix z = spmm_dist.multiply(comm, h.slice_rows(r.begin, r.end));
+    for (vid_t i = 0; i < z.n_rows(); ++i) {
+      std::copy(z.row(i), z.row(i) + 2, result.row(r.begin + i));
+    }
+  });
+  traffic = cluster.traffic();
+  EXPECT_LT(result.max_abs_diff(spmm(a, h)), 1e-5);
+  EXPECT_EQ(traffic.phase("alltoall").total_bytes(), 0u);
+}
+
+TEST(Spmm1d, ComputeSecondsAccumulate) {
+  Rng rng(12);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(64, 800, rng));
+  const auto ranges = uniform_block_ranges(64, 2);
+  const Matrix h = Matrix::random_uniform(64, 32, rng);
+  std::vector<double> secs(2, 0.0);
+  Cluster cluster(2);
+  cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, SpmmMode::kSparsityAware);
+    const BlockRange r = spmm_dist.my_range();
+    const Matrix h_local = h.slice_rows(r.begin, r.end);
+    (void)spmm_dist.multiply(comm, h_local,
+                             &secs[static_cast<std::size_t>(comm.rank())]);
+  });
+  EXPECT_GT(secs[0] + secs[1], 0.0);
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,156 @@
+// Distributed 2D (SUMMA-style) SpMM: grid construction, correctness against
+// serial SpMM in both modes, residency remapping, and the structural
+// property that its all-reduce volume is sparsity-independent.
+#include <gtest/gtest.h>
+
+#include "dist/spmm_2d.hpp"
+#include "graph/generators.hpp"
+#include "simcomm/cluster.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(SquareGrid, MakeAndIndex) {
+  const SquareGrid g = SquareGrid::make(9);
+  EXPECT_EQ(g.q, 3);
+  EXPECT_EQ(g.grid_row(7), 2);
+  EXPECT_EQ(g.grid_col(7), 1);
+  EXPECT_EQ(g.rank_of(2, 1), 7);
+}
+
+TEST(SquareGrid, RejectsNonSquare) {
+  EXPECT_THROW(SquareGrid::make(8), Error);
+  EXPECT_THROW(SquareGrid::make(2), Error);
+}
+
+struct Case2d {
+  vid_t n;
+  eid_t m;
+  vid_t f;
+  int p;
+  SpmmMode mode;
+};
+
+Matrix run_dist_2d(const CsrMatrix& a, const Matrix& h, int p, SpmmMode mode,
+                   TrafficRecorder* traffic_out = nullptr) {
+  const SquareGrid g = SquareGrid::make(p);
+  const auto ranges = uniform_block_ranges(a.n_rows(), g.q);
+  Matrix result(a.n_rows(), h.n_cols());
+  Cluster cluster(p);
+  cluster.run([&](Comm& comm) {
+    DistSpmm2d spmm_dist(comm, a, ranges, mode);
+    const BlockRange in = spmm_dist.input_range();
+    const Matrix z = spmm_dist.multiply(h.slice_rows(in.begin, in.end));
+    // Grid column 0 writes the output (one owner per block row).
+    if (spmm_dist.grid().grid_col(comm.rank()) == 0) {
+      const BlockRange out = spmm_dist.output_range();
+      for (vid_t i = 0; i < z.n_rows(); ++i) {
+        std::copy(z.row(i), z.row(i) + z.n_cols(), result.row(out.begin + i));
+      }
+    }
+  });
+  if (traffic_out != nullptr) *traffic_out = cluster.traffic();
+  return result;
+}
+
+class Spmm2dMatchesSerial : public ::testing::TestWithParam<Case2d> {};
+
+TEST_P(Spmm2dMatchesSerial, Agrees) {
+  const Case2d c = GetParam();
+  Rng rng(c.n + c.p);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(c.n, c.m, rng));
+  const Matrix h = Matrix::random_uniform(c.n, c.f, rng);
+  EXPECT_LT(run_dist_2d(a, h, c.p, c.mode).max_abs_diff(spmm(a, h)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Spmm2dMatchesSerial,
+    ::testing::Values(Case2d{32, 200, 4, 1, SpmmMode::kOblivious},
+                      Case2d{32, 200, 4, 4, SpmmMode::kOblivious},
+                      Case2d{32, 200, 4, 4, SpmmMode::kSparsityAware},
+                      Case2d{60, 400, 6, 9, SpmmMode::kOblivious},
+                      Case2d{60, 400, 6, 9, SpmmMode::kSparsityAware},
+                      Case2d{100, 900, 8, 16, SpmmMode::kOblivious},
+                      Case2d{100, 900, 8, 16, SpmmMode::kSparsityAware}));
+
+TEST(Spmm2d, ChainedMultipliesViaRemap) {
+  // Z residency (grid row) must be remapped to H residency (grid col)
+  // before the next layer — the GCN chaining pattern.
+  Rng rng(5);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(48, 300, rng));
+  Matrix h = Matrix::random_uniform(48, 3, rng);
+  Matrix expected = h;
+  for (int i = 0; i < 3; ++i) expected = spmm(a, expected);
+
+  const auto ranges = uniform_block_ranges(48, 3);
+  Matrix result(48, 3);
+  Cluster cluster(9);
+  cluster.run([&](Comm& comm) {
+    DistSpmm2d spmm_dist(comm, a, ranges, SpmmMode::kSparsityAware);
+    const BlockRange in = spmm_dist.input_range();
+    Matrix local = h.slice_rows(in.begin, in.end);
+    for (int i = 0; i < 3; ++i) {
+      Matrix z = spmm_dist.multiply(local);
+      local = spmm_dist.remap_for_next(z);
+    }
+    if (spmm_dist.grid().grid_col(comm.rank()) == 0) {
+      // After remap the data is back in H residency (block = grid col = 0
+      // for these writers, i.e. block row 0)... write from the diagonal
+      // instead so every block row has exactly one writer.
+    }
+    if (spmm_dist.grid().grid_row(comm.rank()) ==
+        spmm_dist.grid().grid_col(comm.rank())) {
+      for (vid_t i = 0; i < local.n_rows(); ++i) {
+        std::copy(local.row(i), local.row(i) + 3, result.row(in.begin + i));
+      }
+    }
+  });
+  EXPECT_LT(result.max_abs_diff(expected), 1e-3);
+}
+
+TEST(Spmm2d, AllreduceVolumeIsSparsityIndependent) {
+  // The 2D algorithm's dominant communication (the row all-reduce of Z)
+  // does not shrink with sparsity — CAGNET's reason for preferring 1D/1.5D
+  // in GNN training.
+  const vid_t n = 64;
+  Rng rng(6);
+  const CsrMatrix dense_g = CsrMatrix::from_coo(erdos_renyi(n, 1500, rng));
+  CooMatrix diag(n, n);
+  for (vid_t v = 0; v + 1 < n; v += 2) diag.add(v, v + 1, 1.0f);
+  diag.symmetrize();
+  const CsrMatrix sparse_g = CsrMatrix::from_coo(diag);
+  const Matrix h = Matrix::random_uniform(n, 4, rng);
+
+  TrafficRecorder t_dense(1), t_sparse(1);
+  run_dist_2d(dense_g, h, 9, SpmmMode::kSparsityAware, &t_dense);
+  run_dist_2d(sparse_g, h, 9, SpmmMode::kSparsityAware, &t_sparse);
+  EXPECT_EQ(t_dense.phase("allreduce").total_bytes(),
+            t_sparse.phase("allreduce").total_bytes());
+  EXPECT_GT(t_dense.phase("allreduce").total_bytes(), 0u);
+}
+
+TEST(Spmm2d, RemapIsInvolutionOnResidency) {
+  // remap(remap(x)) restores the original local block on every rank.
+  Rng rng(7);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(40, 200, rng));
+  const auto ranges = uniform_block_ranges(40, 2);
+  const Matrix h = Matrix::random_uniform(40, 5, rng);
+  Cluster cluster(4);
+  cluster.run([&](Comm& comm) {
+    DistSpmm2d spmm_dist(comm, a, ranges, SpmmMode::kOblivious);
+    const BlockRange in = spmm_dist.input_range();
+    const BlockRange out = spmm_dist.output_range();
+    // Fabricate a Z-resident block and round-trip it. remap_for_next maps
+    // Z residency -> H residency; applying the raw diagonal swap twice
+    // must restore the bytes. Use the matching slice for each direction.
+    const Matrix z_block = h.slice_rows(out.begin, out.end);
+    const Matrix h_block = spmm_dist.remap_for_next(z_block);
+    EXPECT_EQ(h_block.n_rows(), in.size());
+    // The received block is partner's Z block == rows of H at input range.
+    EXPECT_EQ(h_block.max_abs_diff(h.slice_rows(in.begin, in.end)), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace sagnn

@@ -1,0 +1,63 @@
+// SpMV kernels, including consistency with SpMM at f=1 (independent paths).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sparse/spmm.hpp"
+#include "sparse/spmv.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Spmv, KnownSmallProduct) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 2.0f);
+  coo.add(0, 2, 1.0f);
+  coo.add(1, 1, -1.0f);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<real_t> x{1, 2, 3};
+  const auto y = spmv(a, x);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(Spmv, SizeMismatchThrows) {
+  const CsrMatrix a = CsrMatrix::zeros(2, 3);
+  const std::vector<real_t> wrong{1, 2};
+  EXPECT_THROW(spmv(a, wrong), Error);
+}
+
+TEST(Spmv, MatchesSpmmWithOneColumn) {
+  Rng rng(1);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(80, 600, rng));
+  std::vector<real_t> x(80);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto y = spmv(a, x);
+  const Matrix h(80, 1, std::vector<real_t>(x));
+  const Matrix z = spmm(a, h);
+  for (vid_t r = 0; r < 80; ++r) EXPECT_NEAR(y[static_cast<std::size_t>(r)], z(r, 0), 1e-5);
+}
+
+TEST(Spmv, TransposedMatchesExplicitTranspose) {
+  Rng rng(2);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(50, 250, rng));
+  std::vector<real_t> x(50);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto y1 = spmv_transposed(a, x);
+  const auto y2 = spmv(a.transpose(), x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-5);
+}
+
+TEST(Spmv, AccumulateAdds) {
+  CooMatrix coo(1, 1);
+  coo.add(0, 0, 3.0f);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<real_t> x{2.0f};
+  std::vector<real_t> y{10.0f};
+  spmv_accumulate(a, x, y);
+  EXPECT_FLOAT_EQ(y[0], 16.0f);
+}
+
+}  // namespace
+}  // namespace sagnn

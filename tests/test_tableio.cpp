@@ -1,0 +1,49 @@
+// Bench-support table formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_support/tableio.hpp"
+#include "common/types.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.23");
+  EXPECT_EQ(Table::num(1000.0, 4), "1000");
+}
+
+TEST(Table, Banner) {
+  std::ostringstream os;
+  print_banner(os, "Fig 3");
+  EXPECT_NE(os.str().find("==== Fig 3 ===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sagnn

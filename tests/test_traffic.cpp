@@ -1,0 +1,90 @@
+// Traffic recorder accounting: per-pair counters, summaries, imbalance.
+#include <gtest/gtest.h>
+
+#include "simcomm/traffic.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Traffic, RecordsBytesAndMessages) {
+  TrafficRecorder rec(3);
+  rec.record("x", 0, 1, 100);
+  rec.record("x", 0, 1, 50);
+  rec.record("x", 2, 0, 7);
+  const PhaseTraffic t = rec.phase("x");
+  EXPECT_EQ(t.bytes_between(0, 1), 150u);
+  EXPECT_EQ(t.bytes_between(2, 0), 7u);
+  EXPECT_EQ(t.total_bytes(), 157u);
+  EXPECT_EQ(t.total_msgs(), 3u);
+}
+
+TEST(Traffic, SelfMessagesExcludedFromSummaries) {
+  TrafficRecorder rec(2);
+  rec.record("x", 0, 0, 1000);
+  rec.record("x", 0, 1, 10);
+  const PhaseTraffic t = rec.phase("x");
+  EXPECT_EQ(t.total_bytes(), 10u);
+  EXPECT_EQ(t.send_bytes(0), 10u);
+  EXPECT_EQ(t.recv_bytes(0), 0u);
+  // But the raw counter still holds the self traffic.
+  EXPECT_EQ(t.bytes_between(0, 0), 1000u);
+}
+
+TEST(Traffic, SendRecvRowColumnSums) {
+  TrafficRecorder rec(3);
+  rec.record("x", 0, 1, 5);
+  rec.record("x", 0, 2, 7);
+  rec.record("x", 1, 2, 11);
+  const PhaseTraffic t = rec.phase("x");
+  EXPECT_EQ(t.send_bytes(0), 12u);
+  EXPECT_EQ(t.send_bytes(1), 11u);
+  EXPECT_EQ(t.recv_bytes(2), 18u);
+  EXPECT_EQ(t.max_send_bytes(), 12u);
+}
+
+TEST(Traffic, ImbalancePercent) {
+  TrafficRecorder rec(2);
+  rec.record("x", 0, 1, 300);
+  rec.record("x", 1, 0, 100);
+  const PhaseTraffic t = rec.phase("x");
+  // avg send = 200, max = 300 -> 50% imbalance.
+  EXPECT_NEAR(t.send_imbalance_percent(), 50.0, 1e-9);
+}
+
+TEST(Traffic, UnknownPhaseIsZero) {
+  TrafficRecorder rec(4);
+  const PhaseTraffic t = rec.phase("nope");
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_EQ(t.p, 4);
+}
+
+TEST(Traffic, TotalAcrossPhasesWithExclusion) {
+  TrafficRecorder rec(2);
+  rec.record("a", 0, 1, 10);
+  rec.record("b", 0, 1, 20);
+  rec.record("sync", 0, 1, 999);
+  EXPECT_EQ(rec.total().total_bytes(), 1029u);
+  EXPECT_EQ(rec.total({"sync"}).total_bytes(), 30u);
+}
+
+TEST(Traffic, PhaseNamesAndReset) {
+  TrafficRecorder rec(2);
+  rec.record("a", 0, 1, 1);
+  rec.record("b", 1, 0, 1);
+  EXPECT_EQ(rec.phase_names().size(), 2u);
+  rec.reset();
+  EXPECT_TRUE(rec.phase_names().empty());
+  EXPECT_EQ(rec.phase("a").total_bytes(), 0u);
+}
+
+TEST(Traffic, CopyIsSnapshot) {
+  TrafficRecorder rec(2);
+  rec.record("a", 0, 1, 5);
+  TrafficRecorder copy = rec;
+  rec.record("a", 0, 1, 5);
+  EXPECT_EQ(copy.phase("a").total_bytes(), 5u);
+  EXPECT_EQ(rec.phase("a").total_bytes(), 10u);
+}
+
+}  // namespace
+}  // namespace sagnn
