@@ -55,7 +55,7 @@ int main() {
     for (int p : {16, 64, 256}) {
       const auto d1 = run_scheme(ds, kSaGvb1d, p);
       const auto d15 = run_scheme(
-          ds, SchemeSpec{"", DistAlgo::k15dSparse, "gvb"}, p, /*c=*/2);
+          ds, SchemeSpec{"", "1.5d-sparse", "gvb"}, p, /*c=*/2);
       const EpochCost d2 = run_2d_epoch(ds, p, SpmmMode::kSparsityAware);
       table.add_row({std::to_string(p), ms(d1.modeled_epoch_seconds()),
                      ms(d15.modeled_epoch_seconds()), ms(d2.total()),

@@ -46,17 +46,15 @@ int main() {
     // are deterministic, so only the modeling changes between rows).
     std::vector<double> totals;
     for (const SchemeSpec& scheme : {kCagnet1d, kSa1d, kSaGvb1d}) {
-      DistTrainerOptions opt;
-      opt.algo = scheme.algo;
-      opt.partitioner = scheme.partitioner;
-      opt.p = p;
-      opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 2);
-      opt.cost_model.volume_scale = ds.sim_scale;
-      opt.cost_model.beta_intra *= v.beta_factor;
-      opt.cost_model.beta_inter *= v.beta_factor;
-      opt.cost_model.alpha_intra *= v.alpha_factor;
-      opt.cost_model.alpha_inter *= v.alpha_factor;
-      totals.push_back(train_distributed(ds, opt).modeled_epoch_seconds());
+      ExperimentSpec spec;
+      spec.strategy = scheme.strategy;
+      spec.partitioner = scheme.partitioner;
+      spec.p = p;
+      spec.cost_model.beta_intra *= v.beta_factor;
+      spec.cost_model.beta_inter *= v.beta_factor;
+      spec.cost_model.alpha_intra *= v.alpha_factor;
+      spec.cost_model.alpha_inter *= v.alpha_factor;
+      totals.push_back(run_experiment(ds, spec).modeled_epoch_seconds());
     }
     const char* names[] = {"CAGNET", "SA", "SA+GVB"};
     int best = 0;
@@ -73,14 +71,8 @@ int main() {
   {
     std::vector<double> totals;
     for (const SchemeSpec& scheme : {kCagnet1d, kSa1d, kSaGvb1d}) {
-      DistTrainerOptions opt;
-      opt.algo = scheme.algo;
-      opt.partitioner = scheme.partitioner;
-      opt.p = p;
-      opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 2);
-      opt.cost_model.volume_scale = ds.sim_scale;
       totals.push_back(
-          train_distributed(ds, opt).modeled_epoch.total_overlapped());
+          run_scheme(ds, scheme, p).modeled_epoch.total_overlapped());
     }
     const char* names[] = {"CAGNET", "SA", "SA+GVB"};
     int best = 0;

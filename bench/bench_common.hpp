@@ -1,46 +1,45 @@
 #pragma once
 // Shared helpers for the figure/table reproduction benches: a uniform way
-// to run one (dataset, algorithm, partitioner, p, c) configuration and
-// collect modeled epoch costs + exact volumes.
+// to run one (dataset, strategy, partitioner, p, c) configuration and
+// collect modeled epoch costs + exact volumes. All configuration selection
+// is by registry NAME through the shared run_experiment() helper
+// (src/bench_support/experiment.hpp) — the benches carry no trainer wiring
+// of their own.
 //
 // Every bench prints the paper-shaped table on stdout. Absolute times come
-// from the alpha-beta cost model (see DESIGN.md §2); the claims being
-// reproduced are the *relative* shapes: who wins, by what factor, and where
-// the crossovers sit.
+// from the alpha-beta cost model; the claims being reproduced are the
+// *relative* shapes: who wins, by what factor, and where the crossovers sit.
 
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "bench_support/experiment.hpp"
 #include "bench_support/tableio.hpp"
-#include "gnn/dist_trainer.hpp"
 #include "graph/datasets.hpp"
 
 namespace sagnn::bench {
 
 struct SchemeSpec {
   std::string label;        // e.g. "CAGNET", "SA", "SA+GVB"
-  DistAlgo algo;
-  std::string partitioner;  // block | random | metis | gvb
+  std::string strategy;     // distribution-strategy registry name
+  std::string partitioner;  // partitioner registry name
 };
 
-inline const SchemeSpec kCagnet1d{"CAGNET", DistAlgo::k1dOblivious, "block"};
-inline const SchemeSpec kSa1d{"SA", DistAlgo::k1dSparse, "block"};
-inline const SchemeSpec kSaMetis1d{"SA+METIS", DistAlgo::k1dSparse, "metis"};
-inline const SchemeSpec kSaGvb1d{"SA+GVB", DistAlgo::k1dSparse, "gvb"};
+inline const SchemeSpec kCagnet1d{"CAGNET", "1d-oblivious", "block"};
+inline const SchemeSpec kSa1d{"SA", "1d-sparse", "block"};
+inline const SchemeSpec kSaMetis1d{"SA+METIS", "1d-sparse", "metis"};
+inline const SchemeSpec kSaGvb1d{"SA+GVB", "1d-sparse", "gvb"};
 
-inline DistTrainerResult run_scheme(const Dataset& ds, const SchemeSpec& scheme,
-                                    int p, int c = 1, int epochs = 2) {
-  DistTrainerOptions opt;
-  opt.algo = scheme.algo;
-  opt.partitioner = scheme.partitioner;
-  opt.p = p;
-  opt.c = c;
-  opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
-  // Calibrate the cost model to the full-size dataset this analogue stands
-  // for (see Dataset::sim_scale / CostModel::volume_scale).
-  opt.cost_model.volume_scale = ds.sim_scale;
-  return train_distributed(ds, opt);
+inline TrainResult run_scheme(const Dataset& ds, const SchemeSpec& scheme,
+                              int p, int c = 1, int epochs = 2) {
+  ExperimentSpec spec;
+  spec.strategy = scheme.strategy;
+  spec.partitioner = scheme.partitioner;
+  spec.p = p;
+  spec.c = c;
+  spec.epochs = epochs;
+  return run_experiment(ds, spec);
 }
 
 /// Milliseconds with 4 significant digits, for table cells.

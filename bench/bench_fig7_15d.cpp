@@ -19,9 +19,9 @@ using namespace sagnn::bench;
 
 namespace {
 
-const SchemeSpec kObl15{"1.5D-oblivious", DistAlgo::k15dOblivious, "block"};
-const SchemeSpec kSa15{"1.5D-SA", DistAlgo::k15dSparse, "block"};
-const SchemeSpec kSaGvb15{"1.5D-SA+GVB", DistAlgo::k15dSparse, "gvb"};
+const SchemeSpec kObl15{"1.5D-oblivious", "1.5d-oblivious", "block"};
+const SchemeSpec kSa15{"1.5D-SA", "1.5d-sparse", "block"};
+const SchemeSpec kSaGvb15{"1.5D-SA+GVB", "1.5d-sparse", "gvb"};
 
 void run_dataset(const Dataset& ds, int c, const std::vector<int>& ps) {
   print_banner(std::cout, ds.name + "  c=" + std::to_string(c));

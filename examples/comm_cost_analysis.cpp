@@ -10,8 +10,8 @@
 #include <iostream>
 #include <string>
 
+#include "bench_support/experiment.hpp"
 #include "bench_support/tableio.hpp"
-#include "gnn/dist_trainer.hpp"
 #include "graph/datasets.hpp"
 #include "partition/metrics.hpp"
 
@@ -46,21 +46,18 @@ int main(int argc, char** argv) {
   Table measured({"p", "scheme", "comm MB/epoch", "modeled ms/epoch"});
   struct Scheme {
     const char* label;
-    DistAlgo algo;
+    const char* strategy;
     const char* partitioner;
   };
   for (int p : {8, 32}) {
-    for (const Scheme& s :
-         {Scheme{"oblivious", DistAlgo::k1dOblivious, "block"},
-          Scheme{"SA", DistAlgo::k1dSparse, "block"},
-          Scheme{"SA+GVB", DistAlgo::k1dSparse, "gvb"}}) {
-      DistTrainerOptions opt;
-      opt.algo = s.algo;
-      opt.partitioner = s.partitioner;
-      opt.p = p;
-      opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 2);
-      opt.cost_model.volume_scale = ds.sim_scale;
-      const auto r = train_distributed(ds, opt);
+    for (const Scheme& s : {Scheme{"oblivious", "1d-oblivious", "block"},
+                            Scheme{"SA", "1d-sparse", "block"},
+                            Scheme{"SA+GVB", "1d-sparse", "gvb"}}) {
+      ExperimentSpec spec;
+      spec.strategy = s.strategy;
+      spec.partitioner = s.partitioner;
+      spec.p = p;
+      const auto r = run_experiment(ds, spec);
       double mb = 0;
       for (const auto& [phase, vol] : r.phase_volumes) {
         mb += vol.megabytes_per_epoch;

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   std::printf("epoch | full-batch loss  acc | sampled loss  acc | sampled-edges/graph-nnz\n");
   for (int e = 0; e < epochs; ++e) {
     const EpochMetrics fm = full.run_epoch();
-    const SampledEpochMetrics sm = sampled.run_epoch();
+    const SampledEpochMetrics sm = sampled.run_epoch_detailed();
     std::printf("%5d | %10.4f  %5.3f | %8.4f  %5.3f | %8.2fx\n", e, fm.loss,
                 fm.train_accuracy, sm.loss, sm.train_accuracy,
                 static_cast<double>(sm.sampled_edges) / ds.n_edges());

@@ -1,17 +1,17 @@
-// Quickstart: build a graph dataset, train a 3-layer GCN serially, then
-// train the same model on a simulated 8-GPU cluster with the paper's
-// sparsity-aware 1D algorithm + GVB partitioning, and confirm the two
-// trainings agree.
+// Quickstart for the unified training API: build a graph dataset, train a
+// 3-layer GCN serially, then train the same model on a simulated 8-GPU
+// cluster with the paper's sparsity-aware 1D algorithm + GVB partitioning,
+// and confirm the two trainings agree.
 //
 //   $ ./quickstart
 //
-// This touches the main public entry points: graph/datasets.hpp,
-// gnn/serial_trainer.hpp and gnn/dist_trainer.hpp.
+// Everything is selected through TrainerBuilder by registry NAME — swap
+// "1d-sparse" for "1.5d-sparse" or "gvb" for "metis" (or any strategy or
+// partitioner registered later) and nothing else changes.
 
 #include <cstdio>
 
-#include "gnn/dist_trainer.hpp"
-#include "gnn/serial_trainer.hpp"
+#include "gnn/trainer.hpp"
 #include "graph/datasets.hpp"
 
 using namespace sagnn;
@@ -31,26 +31,32 @@ int main() {
   cfg.learning_rate = 0.3f;
 
   // 3. Serial reference training.
-  SerialTrainer serial(ds, cfg);
-  const auto serial_metrics = serial.train();
-  std::printf("\nserial:      first-epoch loss %.4f -> last-epoch loss %.4f "
+  auto serial = TrainerBuilder(ds).strategy("serial").gcn(cfg).build();
+  const auto& serial_metrics = serial->train();
+  std::printf("\n%-12s first-epoch loss %.4f -> last-epoch loss %.4f "
               "(train acc %.3f)\n",
-              serial_metrics.front().loss, serial_metrics.back().loss,
+              (serial->name() + ":").c_str(), serial_metrics.front().loss,
+              serial_metrics.back().loss,
               serial_metrics.back().train_accuracy);
 
   // 4. Distributed training: sparsity-aware 1D SpMM on 8 simulated GPUs,
   //    graph partitioned by the volume-balancing (GVB-like) partitioner.
-  DistTrainerOptions opt;
-  opt.algo = DistAlgo::k1dSparse;
-  opt.partitioner = "gvb";
-  opt.p = 8;
-  opt.gcn = cfg;
-  opt.cost_model.volume_scale = ds.sim_scale;
-  const DistTrainerResult dist = train_distributed(ds, opt);
-  std::printf("distributed: first-epoch loss %.4f -> last-epoch loss %.4f "
+  //    Both choices are registry strings.
+  CostModel cost_model;
+  cost_model.volume_scale = ds.sim_scale;
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(/*p=*/8)
+                     .partitioner("gvb")
+                     .gcn(cfg)
+                     .cost_model(cost_model)
+                     .build();
+  const auto& dist_metrics = trainer->train();
+  const TrainResult& dist = trainer->result();
+  std::printf("%-12s first-epoch loss %.4f -> last-epoch loss %.4f "
               "(train acc %.3f)\n",
-              dist.epochs.front().loss, dist.epochs.back().loss,
-              dist.epochs.back().train_accuracy);
+              (trainer->name() + ":").c_str(), dist_metrics.front().loss,
+              dist_metrics.back().loss, dist_metrics.back().train_accuracy);
 
   // 5. What did it cost? Exact communication volumes + alpha-beta model.
   std::printf("\nper-epoch communication:\n");
@@ -64,7 +70,7 @@ int main() {
               dist.partition_wall_seconds);
 
   const double drift =
-      std::abs(dist.epochs.back().loss - serial_metrics.back().loss);
+      std::abs(dist_metrics.back().loss - serial_metrics.back().loss);
   std::printf("\nserial vs distributed final-loss drift: %.2e %s\n", drift,
               drift < 1e-2 ? "(OK: same math, different summation order)"
                            : "(unexpectedly large!)");

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-format dry-run over the repo's C++ sources. Exits nonzero if any
+# file would be reformatted; prints the offending files. Skips (exit 0,
+# with a notice) when clang-format is not installed so the check never
+# blocks environments without it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (install it to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples -name '*.hpp' -o -name '*.cpp' | sort)
+
+status=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_format: ${#files[@]} files clean"
+fi
+exit "$status"

@@ -1,0 +1,30 @@
+#include "bench_support/experiment.hpp"
+
+namespace sagnn {
+
+TrainConfig ExperimentSpec::to_train_config(const Dataset& dataset) const {
+  TrainConfig cfg;
+  cfg.gcn = gcn;  // empty dims stay empty; TrainerBuilder derives them
+  cfg.gcn.epochs = epochs;
+  cfg.strategy = strategy;
+  cfg.p = p;
+  cfg.c = c;
+  cfg.partitioner = partitioner;
+  cfg.partitioner_options = partitioner_options;
+  cfg.cost_model = cost_model;
+  if (cfg.cost_model.volume_scale == 1.0) {
+    // Calibrate modeled times to the full-size dataset this analogue
+    // stands for (see Dataset::sim_scale / CostModel::volume_scale).
+    cfg.cost_model.volume_scale = dataset.sim_scale;
+  }
+  cfg.sampling = sampling;
+  return cfg;
+}
+
+TrainResult run_experiment(const Dataset& dataset, const ExperimentSpec& spec) {
+  auto trainer = TrainerBuilder(dataset).config(spec.to_train_config(dataset)).build();
+  trainer->train();
+  return trainer->result();
+}
+
+}  // namespace sagnn

@@ -1,0 +1,36 @@
+#pragma once
+// The one shared experiment runner behind every bench and example driver:
+// a fully name-driven configuration record (strategy and partitioner are
+// registry strings, the dataset is optional by name) funneled through
+// TrainerBuilder. Drivers stopped carrying their own trainer-wiring code —
+// adding a strategy or partitioner makes it selectable everywhere at once.
+
+#include <string>
+
+#include "gnn/trainer.hpp"
+
+namespace sagnn {
+
+struct ExperimentSpec {
+  /// "serial", "sampled", or any registered distribution strategy.
+  std::string strategy = "1d-sparse";
+  std::string partitioner = "block";  ///< partitioner registry name
+  int p = 4;
+  int c = 1;
+  int epochs = 2;
+  /// Layer widths etc.; dims are auto-derived from the dataset when empty.
+  GcnConfig gcn;
+  PartitionerOptions partitioner_options;
+  /// volume_scale is auto-calibrated from Dataset::sim_scale when left at
+  /// the default 1.0 (see CostModel::volume_scale).
+  CostModel cost_model;
+  SamplingConfig sampling;
+
+  /// The equivalent TrainConfig for `dataset`.
+  TrainConfig to_train_config(const Dataset& dataset) const;
+};
+
+/// Build, train, and report one experiment.
+TrainResult run_experiment(const Dataset& dataset, const ExperimentSpec& spec);
+
+}  // namespace sagnn

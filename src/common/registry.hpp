@@ -1,0 +1,80 @@
+#pragma once
+// String-keyed factory registry with alias support — the extension seam
+// behind the partitioner and distribution-strategy catalogs. Components
+// self-register at static-initialization time (the library is linked as an
+// object library, so every registrar translation unit is always present),
+// which lets drivers select implementations purely by name and lets new
+// implementations be added without touching any existing caller.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sagnn {
+
+template <typename Base, typename... Args>
+class NamedRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Base>(Args...)>;
+
+  /// `kind` names the registry in error messages ("partitioner", ...).
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Register a factory under a canonical name plus optional aliases.
+  /// Canonical names appear in names(); aliases only resolve in create().
+  void add(const std::string& canonical, std::vector<std::string> aliases,
+           Factory factory) {
+    SAGNN_REQUIRE(factory != nullptr, "null factory for " + canonical);
+    insert_key(canonical, factory);
+    canonical_.push_back(canonical);
+    for (const std::string& alias : aliases) insert_key(alias, factory);
+  }
+
+  bool contains(const std::string& name) const {
+    return factories_.find(name) != factories_.end();
+  }
+
+  /// Sorted canonical names (the supported vocabulary).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out = canonical_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Instantiate by canonical name or alias. Unknown names get a
+  /// std::invalid_argument that lists every registered choice.
+  template <typename... CallArgs>
+  std::unique_ptr<Base> create(const std::string& name, CallArgs&&... args) const {
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::ostringstream os;
+      os << "unknown " << kind_ << ": '" << name << "' (registered: ";
+      const auto known = names();
+      for (std::size_t i = 0; i < known.size(); ++i) {
+        os << (i > 0 ? ", " : "") << known[i];
+      }
+      os << ")";
+      throw std::invalid_argument(os.str());
+    }
+    return it->second(std::forward<CallArgs>(args)...);
+  }
+
+ private:
+  void insert_key(const std::string& key, const Factory& factory) {
+    const bool inserted = factories_.emplace(key, factory).second;
+    SAGNN_REQUIRE(inserted, "duplicate " + kind_ + " registration: " + key);
+  }
+
+  std::string kind_;
+  std::map<std::string, Factory> factories_;
+  std::vector<std::string> canonical_;
+};
+
+}  // namespace sagnn

@@ -1,0 +1,16 @@
+#include "dist/outer_product.hpp"
+
+#include "dense/gemm.hpp"
+#include "simcomm/collectives.hpp"
+
+namespace sagnn {
+
+Matrix distributed_gram(Comm& comm, const Matrix& a_local, const Matrix& b_local) {
+  SAGNN_REQUIRE(a_local.n_rows() == b_local.n_rows(),
+                "local blocks must have matching row counts");
+  Matrix y = gemm_at_b(a_local, b_local);
+  allreduce_sum<real_t>(comm, {y.data(), y.size()}, "allreduce");
+  return y;
+}
+
+}  // namespace sagnn

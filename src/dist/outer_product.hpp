@@ -1,0 +1,17 @@
+#pragma once
+// Distributed weight-gradient outer product (paper §2.1 backward pass):
+// the f_in x f_out gradient dW = M^T dZ is the sum of each rank's local
+// Gram contribution over its disjoint block rows — a tiny all-reduce
+// ("lower-order term" next to the H exchanges).
+
+#include "dense/matrix.hpp"
+#include "simcomm/comm.hpp"
+
+namespace sagnn {
+
+/// Y = sum over ranks of a_local^T b_local, identical on every rank
+/// (deterministic ring all-reduce). All ranks must pass matrices with the
+/// same column counts; row counts may differ (disjoint block rows).
+Matrix distributed_gram(Comm& comm, const Matrix& a_local, const Matrix& b_local);
+
+}  // namespace sagnn

@@ -1,0 +1,70 @@
+#pragma once
+// Distributed 1.5D SpMM (paper §4.2, Algorithm 2; CAGNET's 1.5D layout).
+//
+// P ranks form a (P/c) x c grid. Block row i of Â and H is replicated on
+// the c ranks of grid row i; the c replicas split the column blocks of the
+// row among themselves (replica col takes blocks j with j % c == col),
+// compute partial products, and an all-reduce across the grid row restores
+// the full Z_i on every replica. Row fetches happen inside each grid
+// COLUMN (one replica of every block row), so the per-rank exchange volume
+// shrinks with c while the (dense) partial-sum all-reduce grows — the 1.5D
+// tradeoff the paper evaluates in Figure 7.
+//
+//   kOblivious:      whole H blocks broadcast within the grid column.
+//   kSparsityAware:  only NnzCols rows exchanged, as in the 1D algorithm.
+
+#include "dense/matrix.hpp"
+#include "dist/dist_csr.hpp"
+#include "simcomm/collectives.hpp"
+
+namespace sagnn {
+
+/// (P/c) x c process grid, rank = grid_row * c + grid_col (row major).
+struct GridLayout {
+  int p = 1;
+  int rows = 1;  ///< number of distinct block rows (P/c)
+  int s = 1;     ///< replication factor c (grid width)
+
+  /// Throws unless c >= 1 and c^2 divides p (the 1.5D requirement).
+  static GridLayout make(int p, int c);
+
+  int grid_row(int rank) const { return rank / s; }
+  int grid_col(int rank) const { return rank % s; }
+  int rank_of(int row, int col) const { return row * s + col; }
+};
+
+class DistSpmm15d {
+ public:
+  /// Collective over `comm` (all ranks construct together). `ranges` must
+  /// have exactly P/c entries. Subcommunicators are split here and kept by
+  /// value, so the object stays usable after the constructing call frame.
+  DistSpmm15d(Comm& comm, const CsrMatrix& a, std::span<const BlockRange> ranges,
+              int c, SpmmMode mode);
+
+  const GridLayout& layout() const { return layout_; }
+  const BlockRange& my_range() const { return local_.my_range(); }
+  SpmmMode mode() const { return mode_; }
+  /// One replica of every block row — the communicator for global
+  /// reductions of losses and weight gradients.
+  Comm& col_comm() { return col_comm_; }
+
+  /// One collective multiply; every replica returns the full Z block,
+  /// bitwise identical across each grid row.
+  Matrix multiply(const Matrix& h_local, double* cpu_seconds = nullptr);
+
+ private:
+  bool assigned(int j) const { return j % layout_.s == grid_col_; }
+
+  GridLayout layout_;
+  int grid_row_ = 0;
+  int grid_col_ = 0;
+  SpmmMode mode_;
+  DistCsr local_;
+  Comm col_comm_;  ///< same grid column; comm rank == grid row
+  Comm row_comm_;  ///< same grid row (the c replicas); comm rank == grid col
+  /// requests_[i]: local rows of MY block that grid row i's replica in my
+  /// column reads (sparsity-aware only).
+  std::vector<std::vector<vid_t>> requests_;
+};
+
+}  // namespace sagnn

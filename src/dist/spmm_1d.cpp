@@ -1,0 +1,107 @@
+#include "dist/spmm_1d.hpp"
+
+#include "common/timer.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+
+namespace {
+
+/// Flatten a packed row buffer back into an n x f matrix without copying
+/// element-by-element.
+Matrix matrix_from_flat(vid_t rows, vid_t f, std::vector<real_t> flat) {
+  SAGNN_CHECK(flat.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(f));
+  return Matrix(rows, f, std::move(flat));
+}
+
+}  // namespace
+
+DistSpmm1d::DistSpmm1d(Comm& comm, const CsrMatrix& a,
+                       std::span<const BlockRange> ranges, SpmmMode mode)
+    : local_(a, ranges, comm.rank()), mode_(mode) {
+  SAGNN_REQUIRE(static_cast<int>(ranges.size()) == comm.size(),
+                "1D needs one block row per rank");
+  if (mode_ != SpmmMode::kSparsityAware) return;
+
+  // Index exchange: tell each peer which rows of ITS block we read. The
+  // replies are the packing lists used by every subsequent multiply.
+  std::vector<std::vector<vid_t>> wants(static_cast<std::size_t>(comm.size()));
+  for (int j = 0; j < comm.size(); ++j) {
+    if (j == comm.rank()) continue;  // own block is read locally
+    wants[static_cast<std::size_t>(j)] = local_.needed_rows(j);
+  }
+  requests_ = alltoallv<vid_t>(comm, wants, "index_exchange");
+  requests_[static_cast<std::size_t>(comm.rank())].clear();
+}
+
+Matrix DistSpmm1d::multiply(Comm& comm, const Matrix& h_local, double* cpu_seconds) {
+  SAGNN_REQUIRE(h_local.n_rows() == local_.local_rows(),
+                "H block must match this rank's row range");
+  return mode_ == SpmmMode::kSparsityAware
+             ? multiply_sparsity_aware(comm, h_local, cpu_seconds)
+             : multiply_oblivious(comm, h_local, cpu_seconds);
+}
+
+Matrix DistSpmm1d::multiply_oblivious(Comm& comm, const Matrix& h_local,
+                                      double* cpu) {
+  const vid_t f = h_local.n_cols();
+  Matrix z(local_.local_rows(), f);
+  for (int root = 0; root < comm.size(); ++root) {
+    const vid_t rows = local_.ranges()[static_cast<std::size_t>(root)].size();
+    std::vector<real_t> buf;
+    if (root == comm.rank()) {
+      buf.assign(h_local.data(), h_local.data() + h_local.size());
+    } else {
+      buf.resize(static_cast<std::size_t>(rows) * f);
+    }
+    bcast<real_t>(comm, root, buf, "bcast");
+    ThreadCpuTimer timer;
+    const Matrix h_j = matrix_from_flat(rows, f, std::move(buf));
+    spmm_accumulate(local_.plain_block(root), h_j, z);
+    if (cpu != nullptr) *cpu += timer.seconds();
+  }
+  return z;
+}
+
+Matrix DistSpmm1d::multiply_sparsity_aware(Comm& comm, const Matrix& h_local,
+                                           double* cpu) {
+  const vid_t f = h_local.n_cols();
+  const int p = comm.size();
+
+  // Pack the rows each peer requested from our block.
+  ThreadCpuTimer pack_timer;
+  std::vector<std::vector<real_t>> send(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    const auto& rows = requests_[static_cast<std::size_t>(r)];
+    auto& buf = send[static_cast<std::size_t>(r)];
+    buf.reserve(rows.size() * static_cast<std::size_t>(f));
+    for (vid_t row : rows) {
+      buf.insert(buf.end(), h_local.row(row), h_local.row(row) + f);
+    }
+  }
+  if (cpu != nullptr) *cpu += pack_timer.seconds();
+
+  auto received = alltoallv<real_t>(comm, send, "alltoall");
+
+  // Local SpMM on the compacted blocks: block j's columns index straight
+  // into the packed buffer of its needed rows.
+  ThreadCpuTimer timer;
+  Matrix z(local_.local_rows(), f);
+  for (int j = 0; j < p; ++j) {
+    const CompactedBlock& block = local_.compacted_block(j);
+    if (block.matrix.nnz() == 0) continue;
+    Matrix packed;
+    if (j == comm.rank()) {
+      packed = h_local.gather_rows(block.cols);
+    } else {
+      packed = matrix_from_flat(static_cast<vid_t>(block.cols.size()), f,
+                                std::move(received[static_cast<std::size_t>(j)]));
+    }
+    spmm_compacted_accumulate(block.matrix, packed, z);
+  }
+  if (cpu != nullptr) *cpu += timer.seconds();
+  return z;
+}
+
+}  // namespace sagnn

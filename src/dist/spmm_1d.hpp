@@ -1,0 +1,47 @@
+#pragma once
+// Distributed 1D SpMM over the simulated cluster (paper §4.1, Algorithm 1).
+//
+// Every rank owns one contiguous block row of Â (as a DistCsr) and the
+// matching block of H. One multiply computes Z_local = Â_local · H with
+//   * kOblivious:      every H block is broadcast in turn (CAGNET), so the
+//                      moved bytes depend only on the matrix SHAPE;
+//   * kSparsityAware:  ranks exchange exactly the H rows the remote blocks
+//                      read (NnzCols), via one all-to-all per multiply. The
+//                      needed-row index lists are exchanged ONCE at
+//                      construction (phase "index_exchange", which the
+//                      trainer excludes from per-epoch cost).
+
+#include "dense/matrix.hpp"
+#include "dist/dist_csr.hpp"
+#include "simcomm/collectives.hpp"
+
+namespace sagnn {
+
+class DistSpmm1d {
+ public:
+  /// Collective: all ranks of `comm` must construct together (the
+  /// sparsity-aware mode exchanges request lists here).
+  DistSpmm1d(Comm& comm, const CsrMatrix& a, std::span<const BlockRange> ranges,
+             SpmmMode mode);
+
+  const BlockRange& my_range() const { return local_.my_range(); }
+  const DistCsr& local() const { return local_; }
+  SpmmMode mode() const { return mode_; }
+
+  /// One collective multiply: returns Â_local · H given this rank's H block.
+  /// Local compute seconds are accumulated into *cpu_seconds when non-null.
+  Matrix multiply(Comm& comm, const Matrix& h_local,
+                  double* cpu_seconds = nullptr);
+
+ private:
+  Matrix multiply_oblivious(Comm& comm, const Matrix& h_local, double* cpu);
+  Matrix multiply_sparsity_aware(Comm& comm, const Matrix& h_local, double* cpu);
+
+  DistCsr local_;
+  SpmmMode mode_;
+  /// requests_[r]: local row indices of MY H block that rank r reads
+  /// (sparsity-aware only; requests_[me] is served without communication).
+  std::vector<std::vector<vid_t>> requests_;
+};
+
+}  // namespace sagnn

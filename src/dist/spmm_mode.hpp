@@ -1,0 +1,15 @@
+#pragma once
+// Communication mode shared by all distributed SpMM algorithms (paper §4).
+
+namespace sagnn {
+
+enum class SpmmMode {
+  kOblivious,      ///< move whole H blocks regardless of sparsity (CAGNET)
+  kSparsityAware,  ///< move only the H rows the local blocks actually read
+};
+
+inline const char* to_string(SpmmMode mode) {
+  return mode == SpmmMode::kOblivious ? "oblivious" : "sparsity-aware";
+}
+
+}  // namespace sagnn

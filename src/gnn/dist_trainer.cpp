@@ -1,14 +1,6 @@
 #include "gnn/dist_trainer.hpp"
 
-#include <algorithm>
-
-#include "common/timer.hpp"
-#include "dist/outer_product.hpp"
-#include "dist/spmm_15d.hpp"
-#include "dist/spmm_1d.hpp"
-#include "dist/spmm_2d.hpp"
-#include "simcomm/cluster.hpp"
-#include "sparse/permute.hpp"
+#include "gnn/distributed_trainer.hpp"
 
 namespace sagnn {
 
@@ -24,6 +16,18 @@ const char* to_string(DistAlgo algo) {
   return "?";
 }
 
+const char* strategy_name(DistAlgo algo) {
+  switch (algo) {
+    case DistAlgo::k1dOblivious: return "1d-oblivious";
+    case DistAlgo::k1dSparse: return "1d-sparse";
+    case DistAlgo::k15dOblivious: return "1.5d-oblivious";
+    case DistAlgo::k15dSparse: return "1.5d-sparse";
+    case DistAlgo::k2dOblivious: return "2d-oblivious";
+    case DistAlgo::k2dSparse: return "2d-sparse";
+  }
+  return "?";
+}
+
 bool is_15d(DistAlgo algo) {
   return algo == DistAlgo::k15dOblivious || algo == DistAlgo::k15dSparse;
 }
@@ -32,269 +36,23 @@ bool is_2d(DistAlgo algo) {
   return algo == DistAlgo::k2dOblivious || algo == DistAlgo::k2dSparse;
 }
 
-namespace {
-
-/// Uniform facade over the two SpMM families so the training loop is
-/// written once.
-class SpmmEngine {
- public:
-  SpmmEngine(Comm& world, const CsrMatrix& a, std::span<const BlockRange> ranges,
-             const DistTrainerOptions& opt)
-      : world_(world) {
-    const SpmmMode mode = (opt.algo == DistAlgo::k1dSparse ||
-                           opt.algo == DistAlgo::k15dSparse ||
-                           opt.algo == DistAlgo::k2dSparse)
-                              ? SpmmMode::kSparsityAware
-                              : SpmmMode::kOblivious;
-    if (is_15d(opt.algo)) {
-      impl15d_ = std::make_unique<DistSpmm15d>(world, a, ranges, opt.c, mode);
-    } else if (is_2d(opt.algo)) {
-      impl2d_ = std::make_unique<DistSpmm2d>(world, a, ranges, mode);
-    } else {
-      impl1d_ = std::make_unique<DistSpmm1d>(world, a, ranges, mode);
-    }
-  }
-
-  /// One aggregation Â·H, returned in the SAME residency as the input so
-  /// the training loop is residency-agnostic (the 2D algorithm remaps its
-  /// Z blocks back to H residency internally).
-  Matrix multiply(const Matrix& h_local, double* secs) {
-    if (impl15d_) return impl15d_->multiply(h_local, secs);
-    if (impl2d_) {
-      Matrix z = impl2d_->multiply(h_local, secs);
-      return impl2d_->remap_for_next(z);
-    }
-    return impl1d_->multiply(world_, h_local, secs);
-  }
-
-  /// The communicator over which block rows are pairwise distinct (for
-  /// global reductions of losses and weight gradients): world for 1D, the
-  /// grid column for 1.5D (rows are replicated across the grid row), the
-  /// grid row for 2D (rank (i,j) holds block j).
-  Comm& reduce_comm() {
-    if (impl15d_) return impl15d_->col_comm();
-    if (impl2d_) return impl2d_->row_comm();
-    return world_;
-  }
-
-  const BlockRange& my_range() const {
-    if (impl15d_) return impl15d_->my_range();
-    if (impl2d_) return impl2d_->input_range();
-    return impl1d_->my_range();
-  }
-
- private:
-  Comm& world_;
-  std::unique_ptr<DistSpmm1d> impl1d_;
-  std::unique_ptr<DistSpmm15d> impl15d_;
-  std::unique_ptr<DistSpmm2d> impl2d_;
-};
-
-}  // namespace
+TrainConfig DistTrainerOptions::to_train_config() const {
+  TrainConfig cfg;
+  cfg.gcn = gcn;
+  cfg.strategy = strategy_name(algo);
+  cfg.p = p;
+  cfg.c = c;
+  cfg.partitioner = partitioner;
+  cfg.partitioner_options = partitioner_options;
+  cfg.cost_model = cost_model;
+  return cfg;
+}
 
 DistTrainerResult train_distributed(const Dataset& dataset,
-                                    const DistTrainerOptions& opt) {
-  SAGNN_REQUIRE(opt.p >= 1, "need at least one rank");
-  SAGNN_REQUIRE(!is_15d(opt.algo) || opt.p % (opt.c * opt.c) == 0,
-                "1.5D requires c^2 | P");
-  if (is_2d(opt.algo)) (void)SquareGrid::make(opt.p);  // validates square P
-  SAGNN_REQUIRE(opt.gcn.dims.front() == dataset.n_features() &&
-                    opt.gcn.dims.back() == dataset.n_classes,
-                "GCN dims must match the dataset");
-
-  int n_blocks = opt.p;
-  if (is_15d(opt.algo)) n_blocks = opt.p / opt.c;
-  if (is_2d(opt.algo)) n_blocks = SquareGrid::make(opt.p).q;
-  DistTrainerResult result;
-
-  // ---- Partition & permute (one-time preprocessing, paper §6.3.1). ----
-  WallTimer part_timer;
-  const auto partitioner = make_partitioner(opt.partitioner, opt.partitioner_options);
-  const Partition partition = partitioner->partition(dataset.adjacency, n_blocks);
-  result.partition_wall_seconds = part_timer.seconds();
-  result.volume_model = compute_volume_stats(dataset.adjacency, partition);
-
-  const auto perm = partition.relabel_permutation();
-  const CsrMatrix a = permute_symmetric(dataset.adjacency, perm);
-  const Matrix h0 = permute_rows(dataset.features, perm);
-  const auto labels = permute_labels(dataset.labels, perm);
-  std::vector<std::uint8_t> mask(dataset.train_mask.size());
-  for (std::size_t v = 0; v < mask.size(); ++v) {
-    mask[static_cast<std::size_t>(perm[v])] = dataset.train_mask[v];
-  }
-  const auto sizes = partition.part_sizes();
-  const auto ranges = ranges_from_sizes(sizes);
-  // Original vertex id of each permuted row: dropout masks key on the
-  // ORIGINAL identity so they match serial training exactly.
-  const auto original_id = invert_permutation(perm);
-  const std::int64_t total_train =
-      std::count(mask.begin(), mask.end(), std::uint8_t{1});
-  SAGNN_REQUIRE(total_train > 0, "dataset has no training vertices");
-
-  // ---- SPMD training. ----
-  Cluster cluster(opt.p);
-  std::vector<double> rank_cpu_seconds(static_cast<std::size_t>(opt.p), 0.0);
-  std::vector<EpochMetrics> epochs(static_cast<std::size_t>(opt.gcn.epochs));
-  double setup_bytes = 0;
-
-  cluster.run([&](Comm& comm) {
-    SpmmEngine engine(comm, a, ranges, opt);
-    // Setup traffic (index exchange) is bucketed separately: snapshot it
-    // now so per-epoch accounting can subtract it.
-    comm.barrier();
-    if (comm.rank() == 0) {
-      setup_bytes = static_cast<double>(
-          cluster.traffic().phase("index_exchange").total_bytes());
-    }
-
-    const BlockRange range = engine.my_range();
-    const Matrix h0_local = h0.slice_rows(range.begin, range.end);
-    const std::span<const vid_t> labels_local{
-        labels.data() + range.begin, static_cast<std::size_t>(range.size())};
-    const std::span<const std::uint8_t> mask_local{
-        mask.data() + range.begin, static_cast<std::size_t>(range.size())};
-
-    GcnModel model(opt.gcn);  // same seed -> identical weights on all ranks
-    double* cpu = &rank_cpu_seconds[static_cast<std::size_t>(comm.rank())];
-    Comm& reduce_comm = engine.reduce_comm();
-
-    for (int epoch = 0; epoch < opt.gcn.epochs; ++epoch) {
-      // Forward. Input dropout masks are a pure function of
-      // (seed, epoch, GLOBAL row), so they agree with serial training and
-      // across replicas of the same block row.
-      Matrix h = h0_local;
-      if (opt.gcn.dropout > 0.0f) {
-        ThreadCpuTimer t_drop;
-        const std::span<const vid_t> ids{
-            original_id.data() + range.begin,
-            static_cast<std::size_t>(range.size())};
-        dropout_rows_deterministic(
-            h, opt.gcn.dropout,
-            opt.gcn.seed ^ (0x9e37ull * (static_cast<std::uint64_t>(epoch) + 1)),
-            ids);
-        *cpu += t_drop.seconds();
-      }
-      for (int l = 0; l < model.n_layers(); ++l) {
-        Matrix m = engine.multiply(h, cpu);
-        ThreadCpuTimer t;
-        h = model.layer(l).forward(std::move(m));
-        *cpu += t.seconds();
-      }
-
-      // Global loss statistics (tiny all-reduce; lower-order term).
-      const LossStats local = softmax_xent_stats(h, labels_local, mask_local);
-      std::vector<double> triple{local.loss_sum, static_cast<double>(local.correct),
-                                 static_cast<double>(local.count)};
-      allreduce_sum<double>(reduce_comm, triple, "allreduce");
-      if (comm.rank() == 0) {
-        epochs[static_cast<std::size_t>(epoch)] = {
-            triple[0] / std::max(1.0, triple[2]),
-            triple[2] > 0 ? triple[1] / triple[2] : 0.0};
-      }
-
-      // Backward.
-      Matrix d_h = softmax_xent_grad(h, labels_local, mask_local, total_train);
-      std::vector<Matrix> d_weights(static_cast<std::size_t>(model.n_layers()));
-      for (int l = model.n_layers() - 1; l >= 0; --l) {
-        ThreadCpuTimer t;
-        auto back = model.layer(l).backward(d_h);
-        *cpu += t.seconds();
-        // dW = M^T dZ summed over the disjoint block rows.
-        std::vector<real_t> flat{back.d_weights.data(),
-                                 back.d_weights.data() + back.d_weights.size()};
-        allreduce_sum<real_t>(reduce_comm, flat, "allreduce");
-        d_weights[static_cast<std::size_t>(l)] =
-            Matrix(back.d_weights.n_rows(), back.d_weights.n_cols(), std::move(flat));
-        if (l > 0) d_h = engine.multiply(back.d_m, cpu);
-      }
-      ThreadCpuTimer t;
-      for (int l = 0; l < model.n_layers(); ++l) {
-        model.layer(l).apply_gradient(d_weights[static_cast<std::size_t>(l)],
-                                      opt.gcn.learning_rate,
-                                      opt.gcn.weight_decay);
-      }
-      *cpu += t.seconds();
-    }
-  });
-
-  // ---- Aggregate costs. ----
-  result.epochs = std::move(epochs);
-  result.setup_megabytes = setup_bytes / 1.0e6;
-  const double inv_epochs = 1.0 / std::max(1, opt.gcn.epochs);
-
-  // Per-epoch traffic: everything except setup and barriers, averaged.
-  for (const auto& name : cluster.traffic().phase_names()) {
-    if (name == "sync" || name == "index_exchange") continue;
-    const PhaseTraffic tr = cluster.traffic().phase(name);
-    result.phase_volumes[name] = {
-        static_cast<double>(tr.total_bytes()) * inv_epochs / 1.0e6,
-        static_cast<double>(tr.total_msgs()) * inv_epochs};
-  }
-
-  // Per-rank compute: the kernels are measured with per-thread CPU clocks,
-  // but with hundreds of rank-threads oversubscribed on few cores the
-  // per-rank split is noisy (cache and scheduler effects). Compute work is
-  // nnz-dominated and exactly proportional to each rank's share of the
-  // matrix, so we keep the MEASURED total and redistribute it across ranks
-  // in proportion to their local nnz (1.5D ranks each execute 1/c of their
-  // replicated block row). This preserves the partitioner-induced compute
-  // imbalance the paper discusses (§7.1.1) without scheduling noise.
-  double total_cpu = 0;
-  for (double s : rank_cpu_seconds) total_cpu += s;
-  std::vector<double> work(static_cast<std::size_t>(opt.p), 0.0);
-  double total_work = 0;
-  for (int r = 0; r < opt.p; ++r) {
-    // 1D: rank r owns block row r outright. 1.5D: block row r/c, work
-    // split c ways across the process row. 2D: rank (i,j) multiplies the
-    // single tile A^T_{ij}, whose nnz we approximate as 1/q of block row i.
-    int block = r;
-    double share = 1.0;
-    if (is_15d(opt.algo)) {
-      block = r / opt.c;
-      share = 1.0 / opt.c;
-    } else if (is_2d(opt.algo)) {
-      const SquareGrid grid = SquareGrid::make(opt.p);
-      block = grid.grid_row(r);
-      share = 1.0 / grid.q;
-    }
-    const auto& range = ranges[static_cast<std::size_t>(block)];
-    const double nnz_local = static_cast<double>(
-        a.row_ptr()[range.end] - a.row_ptr()[range.begin]);
-    work[static_cast<std::size_t>(r)] = nnz_local * share;
-    total_work += work[static_cast<std::size_t>(r)];
-  }
-  std::vector<double> smoothed_cpu(static_cast<std::size_t>(opt.p), 0.0);
-  for (int r = 0; r < opt.p; ++r) {
-    smoothed_cpu[static_cast<std::size_t>(r)] =
-        total_work > 0 ? total_cpu * work[static_cast<std::size_t>(r)] / total_work
-                       : total_cpu / opt.p;
-  }
-
-  // Modeled epoch cost: the alpha-beta model is linear in byte and message
-  // counts and every epoch's traffic is identical, so the cost of one epoch
-  // is the cost of the whole run divided by the epoch count.
-  std::vector<double> per_epoch_cpu(smoothed_cpu.size());
-  for (std::size_t r = 0; r < smoothed_cpu.size(); ++r) {
-    per_epoch_cpu[r] = smoothed_cpu[r] * inv_epochs;
-  }
-  EpochCost all_epochs = epoch_cost(opt.cost_model, cluster.traffic(),
-                                    smoothed_cpu);
-  result.modeled_epoch = {all_epochs.compute * inv_epochs,
-                          all_epochs.alltoall * inv_epochs,
-                          all_epochs.bcast * inv_epochs,
-                          all_epochs.allreduce * inv_epochs,
-                          all_epochs.other * inv_epochs};
-  // Remove the one-time index exchange from the per-epoch breakdown: it was
-  // recorded under its own phase, which epoch_cost puts in `other`.
-  const double setup_cost =
-      opt.cost_model.phase_seconds(cluster.traffic().phase("index_exchange"));
-  result.modeled_epoch.other =
-      std::max(0.0, result.modeled_epoch.other - setup_cost * inv_epochs);
-
-  double max_cpu = 0;
-  for (double s : per_epoch_cpu) max_cpu = std::max(max_cpu, s);
-  result.max_rank_cpu_seconds_per_epoch = max_cpu;
-  return result;
+                                    const DistTrainerOptions& options) {
+  DistributedTrainer trainer(dataset, options.to_train_config());
+  trainer.train();
+  return trainer.result();
 }
 
 }  // namespace sagnn

@@ -1,25 +1,20 @@
 #pragma once
-// Distributed full-graph GCN training on the simulated cluster.
+// Back-compatibility shim over the unified training API (gnn/trainer.hpp).
 //
-// This is the top-level reproduction driver: pick a dataset, a SpMM
-// algorithm (1D/1.5D x oblivious/sparsity-aware), a partitioner
-// (block/random/metis-like/gvb-like) and a process count, and it
-//   1. partitions & symmetrically permutes Â (and H rows, labels, masks),
-//   2. spins up P rank-threads, builds the per-rank distributed matrices
-//      (setup traffic is recorded separately and excluded from epoch cost,
-//      as the paper excludes preprocessing),
-//   3. trains the 3-layer GCN for E epochs with replicated weights,
-//   4. returns per-epoch metrics, exact per-phase communication volumes,
-//      the alpha-beta modeled epoch time breakdown, and partition quality
-//      statistics.
+// Historical entry point: pick a dataset, a DistAlgo and a partitioner
+// name, and train_distributed() runs the full job. New code should prefer
+// TrainerBuilder, which selects the same strategies by registry name and
+// supports epoch-at-a-time stepping:
+//
+//   auto trainer = TrainerBuilder(ds).strategy("1d-sparse")
+//                      .ranks(p).partitioner("gvb").gcn(cfg).build();
+//
+// The DistAlgo enum is retained for existing callers and maps 1:1 onto
+// strategy registry names via strategy_name().
 
-#include <map>
 #include <string>
 
-#include "gnn/serial_trainer.hpp"
-#include "partition/metrics.hpp"
-#include "partition/partition.hpp"
-#include "simcomm/cost_model.hpp"
+#include "gnn/trainer.hpp"
 
 namespace sagnn {
 
@@ -33,6 +28,8 @@ enum class DistAlgo {
 };
 
 const char* to_string(DistAlgo algo);
+/// Canonical strategy-registry name implementing `algo`.
+const char* strategy_name(DistAlgo algo);
 bool is_15d(DistAlgo algo);
 bool is_2d(DistAlgo algo);
 
@@ -40,39 +37,22 @@ struct DistTrainerOptions {
   DistAlgo algo = DistAlgo::k1dSparse;
   int p = 4;                        ///< simulated GPU count
   int c = 1;                        ///< replication factor (1.5D only)
-  std::string partitioner = "block";  ///< block | random | metis | gvb
+  std::string partitioner = "block";  ///< partitioner registry name
   PartitionerOptions partitioner_options;
   GcnConfig gcn;
   CostModel cost_model;
+
+  /// The equivalent unified configuration record.
+  TrainConfig to_train_config() const;
 };
 
-struct PhaseVolume {
-  double megabytes_per_epoch = 0;
-  double messages_per_epoch = 0;
-};
+/// Distributed runs produce the common TrainResult; the historical name is
+/// kept for existing callers.
+using DistTrainerResult = TrainResult;
 
-struct DistTrainerResult {
-  std::vector<EpochMetrics> epochs;
-
-  /// alpha-beta modeled time for ONE epoch, split by phase (Fig. 3/4/7).
-  EpochCost modeled_epoch;
-
-  /// Exact per-phase communication per epoch, from recorded traffic.
-  std::map<std::string, PhaseVolume> phase_volumes;
-
-  /// Predicted sparsity-aware volumes from (matrix, partition) alone
-  /// (Table 2); cross-checkable against phase_volumes["alltoall"].
-  VolumeStats volume_model;
-
-  double partition_wall_seconds = 0;
-  double setup_megabytes = 0;  ///< one-time index-exchange volume
-  double max_rank_cpu_seconds_per_epoch = 0;  ///< unscaled compute bottleneck
-
-  double modeled_epoch_seconds() const { return modeled_epoch.total(); }
-};
-
-/// Run a full distributed training job. Collectives inside require
-/// p >= 1; 1.5D algorithms need c^2 | p; 2D algorithms need a square p.
+/// Run a full distributed training job (thin wrapper over TrainerBuilder).
+/// Collectives inside require p >= 1; 1.5D algorithms need c^2 | p; 2D
+/// algorithms need a square p.
 DistTrainerResult train_distributed(const Dataset& dataset,
                                     const DistTrainerOptions& options);
 

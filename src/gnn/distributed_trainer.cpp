@@ -1,0 +1,195 @@
+#include "gnn/distributed_trainer.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "gnn/loss.hpp"
+#include "sparse/permute.hpp"
+
+namespace sagnn {
+
+/// Everything one simulated rank keeps alive between epochs. The strategy
+/// holds its communicators by value, so the state stays valid across
+/// successive Cluster::run() invocations.
+struct DistributedTrainer::RankState {
+  std::unique_ptr<DistributionStrategy> strategy;
+  Matrix h0_local;
+  std::vector<vid_t> labels_local;
+  std::vector<std::uint8_t> mask_local;
+  /// Original vertex id of each permuted local row: dropout masks key on
+  /// the ORIGINAL identity so they match serial training exactly.
+  std::vector<vid_t> ids_local;
+  GcnModel model;  ///< same seed -> identical weights on all ranks
+};
+
+DistributedTrainer::DistributedTrainer(const Dataset& dataset, TrainConfig config)
+    : config_(std::move(config)) {
+  SAGNN_REQUIRE(config_.p >= 1, "need at least one rank");
+  job_strategy_ = strategy_registry().create(config_.strategy);
+  const int n_blocks = job_strategy_->n_blocks(config_.p, config_.c);
+  SAGNN_REQUIRE(config_.gcn.dims.front() == dataset.n_features() &&
+                    config_.gcn.dims.back() == dataset.n_classes,
+                "GCN dims must match the dataset");
+
+  // ---- Partition & permute (one-time preprocessing, paper §6.3.1). ----
+  WallTimer part_timer;
+  const auto partitioner =
+      make_partitioner(config_.partitioner, config_.partitioner_options);
+  const Partition partition = partitioner->partition(dataset.adjacency, n_blocks);
+  result_.partition_wall_seconds = part_timer.seconds();
+  result_.volume_model = compute_volume_stats(dataset.adjacency, partition);
+
+  const auto perm = partition.relabel_permutation();
+  a_ = permute_symmetric(dataset.adjacency, perm);
+  h0_ = permute_rows(dataset.features, perm);
+  labels_ = permute_labels(dataset.labels, perm);
+  mask_.assign(dataset.train_mask.size(), 0);
+  for (std::size_t v = 0; v < mask_.size(); ++v) {
+    mask_[static_cast<std::size_t>(perm[v])] = dataset.train_mask[v];
+  }
+  ranges_ = ranges_from_sizes(partition.part_sizes());
+  original_id_ = invert_permutation(perm);
+  total_train_ = std::count(mask_.begin(), mask_.end(), std::uint8_t{1});
+  SAGNN_REQUIRE(total_train_ > 0, "dataset has no training vertices");
+
+  // ---- Cluster + per-rank strategy setup. ----
+  cluster_ = std::make_unique<Cluster>(config_.p);
+  states_.resize(static_cast<std::size_t>(config_.p));
+  rank_cpu_seconds_.assign(static_cast<std::size_t>(config_.p), 0.0);
+  const StrategyContext ctx = context();
+  cluster_->run([&](Comm& comm) {
+    auto st = std::make_unique<RankState>();
+    st->strategy = strategy_registry().create(config_.strategy);
+    st->strategy->setup(comm, ctx);
+    const BlockRange range = st->strategy->my_range();
+    st->h0_local = h0_.slice_rows(range.begin, range.end);
+    st->labels_local.assign(labels_.begin() + range.begin,
+                            labels_.begin() + range.end);
+    st->mask_local.assign(mask_.begin() + range.begin, mask_.begin() + range.end);
+    st->ids_local.assign(original_id_.begin() + range.begin,
+                         original_id_.begin() + range.end);
+    st->model = GcnModel(config_.gcn);
+    states_[static_cast<std::size_t>(comm.rank())] = std::move(st);
+  });
+  result_.setup_megabytes =
+      static_cast<double>(
+          cluster_->traffic().phase("index_exchange").total_bytes()) /
+      1.0e6;
+}
+
+DistributedTrainer::~DistributedTrainer() = default;
+
+std::string DistributedTrainer::name() const {
+  return job_strategy_->name() + "+" + config_.partitioner + "@p=" +
+         std::to_string(config_.p) +
+         (config_.c > 1 ? ",c=" + std::to_string(config_.c) : "");
+}
+
+EpochMetrics DistributedTrainer::run_epoch() {
+  const int e = epoch_;
+  EpochMetrics metrics;
+  cluster_->run([&](Comm& comm) {
+    RankState& st = *states_[static_cast<std::size_t>(comm.rank())];
+    double* cpu = &rank_cpu_seconds_[static_cast<std::size_t>(comm.rank())];
+    Comm& reduce_comm = st.strategy->reduce_comm();
+    GcnModel& model = st.model;
+    const GcnConfig& gcn = config_.gcn;
+
+    // Forward. Input dropout masks are a pure function of
+    // (seed, epoch, ORIGINAL row id), so they agree with serial training
+    // and across replicas of the same block row.
+    Matrix h = st.h0_local;
+    if (gcn.dropout > 0.0f) {
+      ThreadCpuTimer t_drop;
+      dropout_rows_deterministic(
+          h, gcn.dropout,
+          gcn.seed ^ (0x9e37ull * (static_cast<std::uint64_t>(e) + 1)),
+          st.ids_local);
+      *cpu += t_drop.seconds();
+    }
+    for (int l = 0; l < model.n_layers(); ++l) {
+      Matrix m = st.strategy->propagate_forward(h, cpu);
+      ThreadCpuTimer t;
+      h = model.layer(l).forward(std::move(m));
+      *cpu += t.seconds();
+    }
+
+    // Global loss statistics (tiny all-reduce; lower-order term).
+    const LossStats local = softmax_xent_stats(h, st.labels_local, st.mask_local);
+    std::vector<double> triple{local.loss_sum,
+                               static_cast<double>(local.correct),
+                               static_cast<double>(local.count)};
+    allreduce_sum<double>(reduce_comm, triple, "allreduce");
+    if (comm.rank() == 0) {
+      metrics = {triple[0] / std::max(1.0, triple[2]),
+                 triple[2] > 0 ? triple[1] / triple[2] : 0.0};
+    }
+
+    // Backward.
+    Matrix d_h = softmax_xent_grad(h, st.labels_local, st.mask_local, total_train_);
+    std::vector<Matrix> d_weights(static_cast<std::size_t>(model.n_layers()));
+    for (int l = model.n_layers() - 1; l >= 0; --l) {
+      ThreadCpuTimer t;
+      auto back = model.layer(l).backward(d_h);
+      *cpu += t.seconds();
+      // dW = M^T dZ summed over the disjoint block rows.
+      std::vector<real_t> flat{back.d_weights.data(),
+                               back.d_weights.data() + back.d_weights.size()};
+      allreduce_sum<real_t>(reduce_comm, flat, "allreduce");
+      d_weights[static_cast<std::size_t>(l)] = Matrix(
+          back.d_weights.n_rows(), back.d_weights.n_cols(), std::move(flat));
+      if (l > 0) d_h = st.strategy->propagate_backward(back.d_m, cpu);
+    }
+    ThreadCpuTimer t;
+    for (int l = 0; l < model.n_layers(); ++l) {
+      model.layer(l).apply_gradient(d_weights[static_cast<std::size_t>(l)],
+                                    gcn.learning_rate, gcn.weight_decay);
+    }
+    *cpu += t.seconds();
+  });
+  epochs_.push_back(metrics);
+  ++epoch_;
+  return metrics;
+}
+
+const std::vector<EpochMetrics>& DistributedTrainer::train() {
+  while (epoch_ < config_.gcn.epochs) run_epoch();
+  finalize();
+  return epochs_;
+}
+
+const TrainResult& DistributedTrainer::result() {
+  finalize();
+  return result_;
+}
+
+void DistributedTrainer::finalize() {
+  if (finalized_epochs_ == epoch_) return;
+  finalized_epochs_ = epoch_;
+  result_.epochs = epochs_;
+
+  const TrafficRecorder traffic = cluster_->traffic();  // snapshot
+  const double inv_epochs = 1.0 / std::max(1, epoch_);
+
+  // Per-epoch traffic: everything except setup and barriers, averaged.
+  result_.phase_volumes.clear();
+  for (const auto& phase : traffic.phase_names()) {
+    if (phase == "sync" || phase == "index_exchange") continue;
+    const PhaseTraffic tr = traffic.phase(phase);
+    result_.phase_volumes[phase] = {
+        static_cast<double>(tr.total_bytes()) * inv_epochs / 1.0e6,
+        static_cast<double>(tr.total_msgs()) * inv_epochs};
+  }
+
+  const StrategyContext ctx = context();
+  result_.modeled_epoch =
+      job_strategy_->epoch_cost(config_.cost_model, traffic, rank_cpu_seconds_,
+                                ctx, std::max(1, epoch_));
+
+  const auto smoothed = job_strategy_->smooth_rank_cpu(ctx, rank_cpu_seconds_);
+  double max_cpu = 0;
+  for (double s : smoothed) max_cpu = std::max(max_cpu, s * inv_epochs);
+  result_.max_rank_cpu_seconds_per_epoch = max_cpu;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,68 @@
+#pragma once
+// Distributed full-graph GCN training on the simulated cluster, written
+// once against the DistributionStrategy interface: pick a strategy and a
+// partitioner (both by registry name, via TrainConfig), and the trainer
+//   1. partitions & symmetrically permutes Â (and H rows, labels, masks),
+//   2. spins up P rank-threads and runs each strategy's setup (the one-time
+//      index exchange is recorded separately and excluded from epoch cost,
+//      as the paper excludes preprocessing),
+//   3. trains the GCN with replicated weights, one run_epoch() at a time
+//      (per-rank state persists across epochs, so callers may interleave
+//      epoch stepping with inspection),
+//   4. reports per-epoch metrics, exact per-phase communication volumes,
+//      the alpha-beta modeled epoch-time breakdown, and partition quality.
+
+#include <memory>
+
+#include "gnn/strategy.hpp"
+#include "gnn/trainer.hpp"
+#include "simcomm/cluster.hpp"
+
+namespace sagnn {
+
+class DistributedTrainer final : public Trainer {
+ public:
+  /// Validates geometry (via the strategy), GCN dimensions, and resolves
+  /// both registry names (std::invalid_argument on unknown ones).
+  DistributedTrainer(const Dataset& dataset, TrainConfig config);
+  ~DistributedTrainer() override;
+
+  std::string name() const override;
+  int epochs_run() const override { return epoch_; }
+  EpochMetrics run_epoch() override;
+  const std::vector<EpochMetrics>& train() override;
+  const TrainResult& result() override;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  struct RankState;
+
+  StrategyContext context() const {
+    return {config_.p, config_.c, &a_, ranges_};
+  }
+  void finalize();
+
+  TrainConfig config_;
+
+  // The permuted problem (block rows contiguous per part).
+  CsrMatrix a_;
+  Matrix h0_;
+  std::vector<vid_t> labels_;
+  std::vector<std::uint8_t> mask_;
+  std::vector<vid_t> original_id_;
+  std::vector<BlockRange> ranges_;
+  std::int64_t total_train_ = 0;
+
+  std::unique_ptr<DistributionStrategy> job_strategy_;  ///< cost/geometry queries
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<RankState>> states_;
+  std::vector<double> rank_cpu_seconds_;  ///< accumulated across epochs
+
+  std::vector<EpochMetrics> epochs_;
+  TrainResult result_;
+  int epoch_ = 0;
+  int finalized_epochs_ = -1;  ///< epochs covered by result_; -1 = never
+};
+
+}  // namespace sagnn

@@ -92,7 +92,7 @@ std::vector<SampledTrainer::SampledLayer> SampledTrainer::sample_batch(
   return out;
 }
 
-SampledEpochMetrics SampledTrainer::run_epoch() {
+SampledEpochMetrics SampledTrainer::run_epoch_detailed() {
   SampledEpochMetrics metrics;
   // Shuffled pass over the training vertices.
   std::vector<vid_t> order = train_vertices_;
@@ -149,14 +149,29 @@ SampledEpochMetrics SampledTrainer::run_epoch() {
   }
   metrics.loss = count > 0 ? loss_sum / count : 0.0;
   metrics.train_accuracy = count > 0 ? static_cast<double>(correct) / count : 0.0;
+  detailed_.push_back(metrics);
+  metrics_.push_back({metrics.loss, metrics.train_accuracy});
   return metrics;
 }
 
-std::vector<SampledEpochMetrics> SampledTrainer::train() {
-  std::vector<SampledEpochMetrics> out;
-  out.reserve(static_cast<std::size_t>(config_.epochs));
-  for (int e = 0; e < config_.epochs; ++e) out.push_back(run_epoch());
-  return out;
+EpochMetrics SampledTrainer::run_epoch() {
+  (void)run_epoch_detailed();
+  return metrics_.back();
+}
+
+const std::vector<EpochMetrics>& SampledTrainer::train() {
+  while (epochs_run() < config_.epochs) (void)run_epoch_detailed();
+  return metrics_;
+}
+
+const TrainResult& SampledTrainer::result() {
+  result_.epochs = metrics_;
+  return result_;
+}
+
+const std::vector<SampledEpochMetrics>& SampledTrainer::train_detailed() {
+  while (epochs_run() < config_.epochs) (void)run_epoch_detailed();
+  return detailed_;
 }
 
 LossStats SampledTrainer::evaluate() const {

@@ -11,6 +11,10 @@
 //   * loss/accuracy trajectories show the sampling-noise degradation
 //     relative to SerialTrainer on the same dataset and model.
 //
+// Implements the unified Trainer interface (run_epoch()/train()/result()
+// report the common loss/accuracy metrics); the sampling-specific counters
+// are available through the *_detailed() variants.
+//
 // Sampling scheme: for each mini-batch of training vertices, walk layers
 // backwards; at layer l each frontier vertex keeps at most fanout[l]
 // uniformly-sampled in-neighbors. Aggregations use the GCN-normalized Â
@@ -23,14 +27,6 @@
 
 namespace sagnn {
 
-struct SamplingConfig {
-  vid_t batch_size = 64;
-  /// Per-layer neighbor fanout, innermost (layer 1) first. Size must equal
-  /// the number of GCN layers.
-  std::vector<vid_t> fanouts;
-  std::uint64_t seed = 1234;
-};
-
 struct SampledEpochMetrics {
   double loss = 0;            ///< mean training loss over the epoch's batches
   double train_accuracy = 0;  ///< accuracy over the epoch's batch vertices
@@ -38,16 +34,26 @@ struct SampledEpochMetrics {
   std::int64_t batches = 0;
 };
 
-class SampledTrainer {
+class SampledTrainer final : public Trainer {
  public:
   SampledTrainer(const Dataset& dataset, GcnConfig config,
                  SamplingConfig sampling);
 
+  std::string name() const override { return "sampled"; }
+  int epochs_run() const override {
+    return static_cast<int>(detailed_.size());
+  }
+
   /// One epoch = one pass over all training vertices in shuffled
   /// mini-batches, with an SGD step per batch.
-  SampledEpochMetrics run_epoch();
+  EpochMetrics run_epoch() override;
+  const std::vector<EpochMetrics>& train() override;
+  const TrainResult& result() override;
 
-  std::vector<SampledEpochMetrics> train();
+  /// Same epoch step, returning the sampling-specific counters.
+  SampledEpochMetrics run_epoch_detailed();
+  /// Remaining epochs with detailed metrics for every epoch run so far.
+  const std::vector<SampledEpochMetrics>& train_detailed();
 
   /// Full-graph (non-sampled) evaluation of the current weights; lets the
   /// accuracy comparison against full-batch training be apples-to-apples.
@@ -73,6 +79,9 @@ class SampledTrainer {
   GcnModel model_;
   Rng rng_;
   std::vector<vid_t> train_vertices_;
+  std::vector<SampledEpochMetrics> detailed_;
+  std::vector<EpochMetrics> metrics_;
+  TrainResult result_;
 };
 
 }  // namespace sagnn

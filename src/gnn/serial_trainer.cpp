@@ -42,14 +42,18 @@ EpochMetrics SerialTrainer::run_epoch() {
                                    config_.learning_rate, config_.weight_decay);
   }
   ++epoch_;
-  return {stats.mean_loss(), stats.accuracy()};
+  metrics_.push_back({stats.mean_loss(), stats.accuracy()});
+  return metrics_.back();
 }
 
-std::vector<EpochMetrics> SerialTrainer::train() {
-  std::vector<EpochMetrics> metrics;
-  metrics.reserve(static_cast<std::size_t>(config_.epochs));
-  for (int e = 0; e < config_.epochs; ++e) metrics.push_back(run_epoch());
-  return metrics;
+const std::vector<EpochMetrics>& SerialTrainer::train() {
+  while (epoch_ < config_.epochs) run_epoch();
+  return metrics_;
+}
+
+const TrainResult& SerialTrainer::result() {
+  result_.epochs = metrics_;
+  return result_;
 }
 
 }  // namespace sagnn

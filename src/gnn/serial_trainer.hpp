@@ -2,31 +2,30 @@
 // Single-process full-graph GCN trainer: the numerical reference every
 // distributed configuration is property-tested against, and the baseline
 // for accuracy-parity claims (paper §6.2: sparsity-aware training changes
-// communication, not math).
+// communication, not math). Implements the unified Trainer interface.
 
 #include <vector>
 
 #include "gnn/loss.hpp"
-#include "gnn/model.hpp"
-#include "graph/datasets.hpp"
+#include "gnn/trainer.hpp"
 #include "sparse/spmm.hpp"
 
 namespace sagnn {
 
-struct EpochMetrics {
-  double loss = 0;
-  double train_accuracy = 0;
-};
-
-class SerialTrainer {
+class SerialTrainer final : public Trainer {
  public:
   SerialTrainer(const Dataset& dataset, GcnConfig config);
 
-  /// One full-batch epoch: forward, loss, backward, SGD step.
-  EpochMetrics run_epoch();
+  std::string name() const override { return "serial"; }
+  int epochs_run() const override { return epoch_; }
 
-  /// Run config.epochs epochs.
-  std::vector<EpochMetrics> train();
+  /// One full-batch epoch: forward, loss, backward, SGD step.
+  EpochMetrics run_epoch() override;
+
+  /// Run the remaining configured epochs; returns the full trajectory.
+  const std::vector<EpochMetrics>& train() override;
+
+  const TrainResult& result() override;
 
   /// Forward pass only; returns the logits (used by tests/examples).
   Matrix forward();
@@ -39,6 +38,8 @@ class SerialTrainer {
   GcnConfig config_;
   GcnModel model_;
   int epoch_ = 0;  ///< epochs completed; drives the per-epoch dropout seed
+  std::vector<EpochMetrics> metrics_;
+  TrainResult result_;
 };
 
 }  // namespace sagnn

@@ -1,0 +1,31 @@
+#include "gnn/strategies/strategy_15d.hpp"
+
+namespace sagnn {
+
+std::vector<double> Strategy15d::rank_work(const StrategyContext& ctx) const {
+  // Rank r holds block row r/c; the c replicas split its work.
+  const GridLayout layout = GridLayout::make(ctx.p, ctx.c);
+  std::vector<double> work(static_cast<std::size_t>(ctx.p), 0.0);
+  const auto row_ptr = ctx.adjacency->row_ptr();
+  for (int r = 0; r < ctx.p; ++r) {
+    const BlockRange& range =
+        ctx.ranges[static_cast<std::size_t>(layout.grid_row(r))];
+    work[static_cast<std::size_t>(r)] =
+        static_cast<double>(row_ptr[range.end] - row_ptr[range.begin]) /
+        layout.s;
+  }
+  return work;
+}
+
+namespace {
+const StrategyRegistration kRegister15dOblivious{
+    "1.5d-oblivious", {}, [] {
+      return std::make_unique<Strategy15d>(SpmmMode::kOblivious);
+    }};
+const StrategyRegistration kRegister15dSparse{
+    "1.5d-sparse", {"1.5d-sparsity-aware"}, [] {
+      return std::make_unique<Strategy15d>(SpmmMode::kSparsityAware);
+    }};
+}  // namespace
+
+}  // namespace sagnn

@@ -1,0 +1,46 @@
+#pragma once
+// 1.5D distribution strategies (paper §4.2, Algorithm 2): a (P/c) x c grid
+// replicates each block row on c ranks; row fetches shrink with c at the
+// price of a grid-row all-reduce. Reductions run over the grid column
+// (one replica of every block row).
+
+#include "dist/spmm_15d.hpp"
+#include "gnn/strategy.hpp"
+
+namespace sagnn {
+
+class Strategy15d final : public DistributionStrategy {
+ public:
+  explicit Strategy15d(SpmmMode mode) : mode_(mode) {}
+
+  std::string name() const override {
+    return mode_ == SpmmMode::kSparsityAware ? "1.5d-sparse" : "1.5d-oblivious";
+  }
+
+  int n_blocks(int p, int c) const override {
+    return GridLayout::make(p, c).rows;
+  }
+
+  void setup(Comm& comm, const StrategyContext& ctx) override {
+    spmm_ = std::make_unique<DistSpmm15d>(comm, *ctx.adjacency, ctx.ranges,
+                                          ctx.c, mode_);
+  }
+
+  Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {
+    return spmm_->multiply(x_local, cpu_seconds);
+  }
+  Matrix propagate_backward(const Matrix& g_local, double* cpu_seconds) override {
+    return spmm_->multiply(g_local, cpu_seconds);
+  }
+
+  Comm& reduce_comm() override { return spmm_->col_comm(); }
+  const BlockRange& my_range() const override { return spmm_->my_range(); }
+
+  std::vector<double> rank_work(const StrategyContext& ctx) const override;
+
+ private:
+  SpmmMode mode_;
+  std::unique_ptr<DistSpmm15d> spmm_;
+};
+
+}  // namespace sagnn

@@ -1,0 +1,51 @@
+#pragma once
+// 1D block-row distribution strategies (paper §4.1): the CAGNET broadcast
+// baseline ("1d-oblivious") and the paper's Algorithm 1 ("1d-sparse").
+// Every rank owns one block row of Â and H; the world communicator doubles
+// as the reduction scope.
+
+#include <optional>
+
+#include "dist/spmm_1d.hpp"
+#include "gnn/strategy.hpp"
+
+namespace sagnn {
+
+class Strategy1d final : public DistributionStrategy {
+ public:
+  explicit Strategy1d(SpmmMode mode) : mode_(mode) {}
+
+  std::string name() const override {
+    return mode_ == SpmmMode::kSparsityAware ? "1d-sparse" : "1d-oblivious";
+  }
+
+  int n_blocks(int p, int /*c*/) const override {
+    SAGNN_REQUIRE(p >= 1, "need at least one rank");
+    return p;
+  }
+
+  void setup(Comm& comm, const StrategyContext& ctx) override {
+    world_.emplace(comm);
+    spmm_ = std::make_unique<DistSpmm1d>(*world_, *ctx.adjacency, ctx.ranges,
+                                         mode_);
+  }
+
+  Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {
+    return spmm_->multiply(*world_, x_local, cpu_seconds);
+  }
+  Matrix propagate_backward(const Matrix& g_local, double* cpu_seconds) override {
+    return spmm_->multiply(*world_, g_local, cpu_seconds);
+  }
+
+  Comm& reduce_comm() override { return *world_; }
+  const BlockRange& my_range() const override { return spmm_->my_range(); }
+
+  std::vector<double> rank_work(const StrategyContext& ctx) const override;
+
+ private:
+  SpmmMode mode_;
+  std::optional<Comm> world_;
+  std::unique_ptr<DistSpmm1d> spmm_;
+};
+
+}  // namespace sagnn

@@ -1,0 +1,31 @@
+#include "gnn/strategies/strategy_2d.hpp"
+
+namespace sagnn {
+
+std::vector<double> Strategy2d::rank_work(const StrategyContext& ctx) const {
+  // Rank (i, j) multiplies the single tile Â_{ij}, whose nnz we
+  // approximate as 1/q of block row i.
+  const SquareGrid grid = SquareGrid::make(ctx.p);
+  std::vector<double> work(static_cast<std::size_t>(ctx.p), 0.0);
+  const auto row_ptr = ctx.adjacency->row_ptr();
+  for (int r = 0; r < ctx.p; ++r) {
+    const BlockRange& range =
+        ctx.ranges[static_cast<std::size_t>(grid.grid_row(r))];
+    work[static_cast<std::size_t>(r)] =
+        static_cast<double>(row_ptr[range.end] - row_ptr[range.begin]) / grid.q;
+  }
+  return work;
+}
+
+namespace {
+const StrategyRegistration kRegister2dOblivious{
+    "2d-oblivious", {"2d-oblivious(summa)", "summa"}, [] {
+      return std::make_unique<Strategy2d>(SpmmMode::kOblivious);
+    }};
+const StrategyRegistration kRegister2dSparse{
+    "2d-sparse", {"2d-sparsity-aware"}, [] {
+      return std::make_unique<Strategy2d>(SpmmMode::kSparsityAware);
+    }};
+}  // namespace
+
+}  // namespace sagnn

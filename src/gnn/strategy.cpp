@@ -1,0 +1,60 @@
+#include "gnn/strategy.hpp"
+
+#include <algorithm>
+
+namespace sagnn {
+
+StrategyRegistry& strategy_registry() {
+  static StrategyRegistry registry("distribution strategy");
+  return registry;
+}
+
+std::vector<double> DistributionStrategy::smooth_rank_cpu(
+    const StrategyContext& ctx, std::span<const double> measured) const {
+  // The kernels are measured with per-thread CPU clocks, but with many
+  // rank-threads oversubscribed on few cores the per-rank split is noisy
+  // (cache and scheduler effects). Compute work is nnz-dominated and
+  // exactly proportional to each rank's share of the matrix, so keep the
+  // MEASURED total and redistribute it in proportion to rank_work(). This
+  // preserves the partitioner-induced compute imbalance the paper
+  // discusses (§7.1.1) without scheduling noise.
+  double total_cpu = 0;
+  for (double s : measured) total_cpu += s;
+  const std::vector<double> work = rank_work(ctx);
+  SAGNN_CHECK(static_cast<int>(work.size()) == ctx.p);
+  double total_work = 0;
+  for (double w : work) total_work += w;
+  std::vector<double> smoothed(static_cast<std::size_t>(ctx.p), 0.0);
+  for (int r = 0; r < ctx.p; ++r) {
+    smoothed[static_cast<std::size_t>(r)] =
+        total_work > 0 ? total_cpu * work[static_cast<std::size_t>(r)] / total_work
+                       : total_cpu / ctx.p;
+  }
+  return smoothed;
+}
+
+EpochCost DistributionStrategy::epoch_cost(const CostModel& model,
+                                           const TrafficRecorder& traffic,
+                                           std::span<const double> rank_cpu_seconds,
+                                           const StrategyContext& ctx,
+                                           int epochs) const {
+  const std::vector<double> smoothed = smooth_rank_cpu(ctx, rank_cpu_seconds);
+
+  // The alpha-beta model is linear in byte and message counts and every
+  // epoch's traffic is identical, so one epoch costs the whole run divided
+  // by the epoch count.
+  const double inv_epochs = 1.0 / std::max(1, epochs);
+  const EpochCost all = sagnn::epoch_cost(model, traffic, smoothed);
+  EpochCost epoch{all.compute * inv_epochs, all.alltoall * inv_epochs,
+                  all.bcast * inv_epochs, all.allreduce * inv_epochs,
+                  all.other * inv_epochs};
+
+  // Remove the one-time index exchange from the per-epoch breakdown: it is
+  // recorded under its own phase, which epoch_cost() buckets into `other`.
+  const double setup_cost =
+      model.phase_seconds(traffic.phase("index_exchange"));
+  epoch.other = std::max(0.0, epoch.other - setup_cost * inv_epochs);
+  return epoch;
+}
+
+}  // namespace sagnn

@@ -1,0 +1,107 @@
+#pragma once
+// The distribution-strategy seam of distributed training.
+//
+// A DistributionStrategy encapsulates everything that differs between the
+// paper's communication schemes (1D/1.5D/2D x oblivious/sparsity-aware):
+// the process geometry, the per-rank communicators and distributed-matrix
+// state, the collective schedule of one aggregation Â·X in forward and
+// backward direction, and the algorithm-specific part of the modeled
+// epoch cost. The DistributedTrainer is written once against this
+// interface; concrete strategies live in src/gnn/strategies/ and
+// self-register with strategy_registry() under CLI-friendly names, so new
+// schemes plug in without touching the trainer or any driver.
+//
+// Lifecycle: a strategy object is created per rank (plus one job-level
+// instance for geometry/cost queries). setup() binds it to a rank inside
+// the cluster; the propagate calls and reduce_comm() are only valid after
+// setup().
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/registry.hpp"
+#include "dense/matrix.hpp"
+#include "simcomm/collectives.hpp"
+#include "simcomm/cost_model.hpp"
+#include "sparse/blocks.hpp"
+
+namespace sagnn {
+
+/// Immutable job-level description shared by all ranks: the (already
+/// partitioned and symmetrically permuted) adjacency and its block rows.
+struct StrategyContext {
+  int p = 1;  ///< simulated GPU count
+  int c = 1;  ///< replication factor (1.5D family; others ignore it)
+  const CsrMatrix* adjacency = nullptr;
+  std::span<const BlockRange> ranges;
+};
+
+class DistributionStrategy {
+ public:
+  virtual ~DistributionStrategy() = default;
+
+  /// Canonical registry name, e.g. "1.5d-sparse".
+  virtual std::string name() const = 0;
+
+  /// Number of block rows the partitioner must produce for (p, c).
+  /// Throws Error on invalid geometry (non-square P for 2D, c^2 ∤ P, ...).
+  virtual int n_blocks(int p, int c) const = 0;
+
+  /// Per-rank setup: split subcommunicators, build the local distributed
+  /// matrix state, run the one-time index exchange (sparsity-aware modes;
+  /// recorded under phase "index_exchange"). Collective over `comm`.
+  virtual void setup(Comm& comm, const StrategyContext& ctx) = 0;
+
+  /// One aggregation Â·X of the forward pass, input and output in this
+  /// rank's H residency. Local compute seconds accumulate into
+  /// *cpu_seconds when non-null.
+  virtual Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) = 0;
+
+  /// The backward-pass aggregation Â·G (Â is symmetric, so the schedule may
+  /// coincide with forward; kept separate so asymmetric or pipelined
+  /// schedules can diverge).
+  virtual Matrix propagate_backward(const Matrix& g_local, double* cpu_seconds) = 0;
+
+  /// Communicator whose members own pairwise-distinct block rows — the
+  /// scope for global reductions of losses and weight gradients.
+  virtual Comm& reduce_comm() = 0;
+
+  /// This rank's block-row range (valid after setup()).
+  virtual const BlockRange& my_range() const = 0;
+
+  /// Relative compute weight of every rank (share of total nnz-work). Used
+  /// to redistribute measured CPU seconds, which are noisy under thread
+  /// oversubscription (see epoch_cost()).
+  virtual std::vector<double> rank_work(const StrategyContext& ctx) const = 0;
+
+  /// Algorithm-aware modeled cost of ONE epoch: smooths the measured CPU
+  /// seconds over rank_work(), applies the alpha-beta model to the recorded
+  /// traffic, averages over `epochs`, and removes the one-time index
+  /// exchange from the per-epoch breakdown.
+  EpochCost epoch_cost(const CostModel& model, const TrafficRecorder& traffic,
+                       std::span<const double> rank_cpu_seconds,
+                       const StrategyContext& ctx, int epochs) const;
+
+  /// The compute-smoothing half of epoch_cost(), exposed so callers can
+  /// also report per-rank bottlenecks.
+  std::vector<double> smooth_rank_cpu(const StrategyContext& ctx,
+                                      std::span<const double> measured) const;
+};
+
+using StrategyRegistry = NamedRegistry<DistributionStrategy>;
+
+/// The process-wide distribution-strategy registry.
+StrategyRegistry& strategy_registry();
+
+/// Static-initialization helper: declare one per strategy .cpp.
+struct StrategyRegistration {
+  StrategyRegistration(const std::string& canonical,
+                       std::vector<std::string> aliases,
+                       StrategyRegistry::Factory factory) {
+    strategy_registry().add(canonical, std::move(aliases), std::move(factory));
+  }
+};
+
+}  // namespace sagnn

@@ -1,0 +1,28 @@
+#include "gnn/trainer.hpp"
+
+#include "gnn/distributed_trainer.hpp"
+#include "gnn/sampled_trainer.hpp"
+#include "gnn/serial_trainer.hpp"
+#include "gnn/strategy.hpp"
+
+namespace sagnn {
+
+std::unique_ptr<Trainer> TrainerBuilder::build() const {
+  TrainConfig cfg = config_;
+  const Dataset& ds = *dataset_;
+  if (cfg.gcn.dims.empty()) {
+    // The paper's default architecture: 3 layers, 16 hidden units.
+    cfg.gcn.dims = {ds.n_features(), 16, 16, ds.n_classes};
+  }
+  if (cfg.strategy == "serial") {
+    return std::make_unique<SerialTrainer>(ds, cfg.gcn);
+  }
+  if (cfg.strategy == "sampled") {
+    return std::make_unique<SampledTrainer>(ds, cfg.gcn, cfg.sampling);
+  }
+  // Any other name resolves against the distribution-strategy registry;
+  // unknown names raise std::invalid_argument listing the registered ones.
+  return std::make_unique<DistributedTrainer>(ds, std::move(cfg));
+}
+
+}  // namespace sagnn

@@ -1,0 +1,185 @@
+#pragma once
+// The unified training API (every trainer — serial, distributed, sampled —
+// implements the same three-verb interface):
+//
+//   run_epoch()  one epoch, returns its global metrics
+//   train()      run all remaining configured epochs
+//   result()     aggregate TrainResult (trajectory + cost/volume reports)
+//
+// Construction goes through TrainerBuilder, which selects the execution
+// mode and — for distributed training — the communication strategy and the
+// graph partitioner purely by their registry names:
+//
+//   auto trainer = TrainerBuilder(dataset)
+//                      .strategy("1.5d-sparse")   // any registered strategy
+//                      .ranks(/*p=*/16, /*c=*/2)
+//                      .partitioner("gvb")        // any registered partitioner
+//                      .gcn(config)
+//                      .build();
+//   trainer->train();
+//   const TrainResult& r = trainer->result();
+//
+// "serial" and "sampled" are built-in mode names; every other name is
+// resolved against the DistributionStrategy registry (gnn/strategy.hpp),
+// so a new strategy class becomes selectable here without touching any
+// trainer or driver code.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/model.hpp"
+#include "graph/datasets.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "simcomm/cost_model.hpp"
+
+namespace sagnn {
+
+/// Global per-epoch training metrics (identical across ranks).
+struct EpochMetrics {
+  double loss = 0;
+  double train_accuracy = 0;
+};
+
+/// Exact per-phase communication per epoch, from recorded traffic.
+struct PhaseVolume {
+  double megabytes_per_epoch = 0;
+  double messages_per_epoch = 0;
+};
+
+/// Mini-batch sampling knobs (the "sampled" trainer mode).
+struct SamplingConfig {
+  vid_t batch_size = 64;
+  /// Per-layer neighbor fanout, innermost (layer 1) first. Size must equal
+  /// the number of GCN layers.
+  std::vector<vid_t> fanouts;
+  std::uint64_t seed = 1234;
+};
+
+/// Aggregate outcome of a training run. Serial and sampled trainers fill
+/// only `epochs`; distributed trainers additionally report exact
+/// communication volumes, the alpha-beta modeled epoch cost, and partition
+/// quality statistics (Figures 3/4/6/7 and Table 2 of the paper).
+struct TrainResult {
+  std::vector<EpochMetrics> epochs;
+
+  /// alpha-beta modeled time for ONE epoch, split by phase.
+  EpochCost modeled_epoch;
+
+  /// Exact per-phase communication per epoch, from recorded traffic.
+  std::map<std::string, PhaseVolume> phase_volumes;
+
+  /// Predicted sparsity-aware volumes from (matrix, partition) alone;
+  /// cross-checkable against phase_volumes["alltoall"].
+  VolumeStats volume_model;
+
+  double partition_wall_seconds = 0;
+  double setup_megabytes = 0;  ///< one-time index-exchange volume
+  double max_rank_cpu_seconds_per_epoch = 0;  ///< unscaled compute bottleneck
+
+  double modeled_epoch_seconds() const { return modeled_epoch.total(); }
+};
+
+/// Common trainer interface. Epoch-at-a-time stepping and whole-run
+/// training compose: train() always runs the epochs not yet executed.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+
+  /// Human-readable description of the configuration.
+  virtual std::string name() const = 0;
+
+  /// Epochs executed so far.
+  virtual int epochs_run() const = 0;
+
+  /// Execute one epoch and return its global metrics.
+  virtual EpochMetrics run_epoch() = 0;
+
+  /// Execute all remaining configured epochs; returns the full trajectory.
+  virtual const std::vector<EpochMetrics>& train() = 0;
+
+  /// Aggregate result for the epochs executed so far.
+  virtual const TrainResult& result() = 0;
+};
+
+/// One configuration record subsuming the per-mode option structs.
+struct TrainConfig {
+  GcnConfig gcn;  ///< dims auto-derived from the dataset when left empty
+
+  /// "serial", "sampled", or a registered distribution-strategy name
+  /// (e.g. "1d-sparse", "1.5d-oblivious", "2d-sparse").
+  std::string strategy = "serial";
+
+  // --- distributed-mode options ---
+  int p = 4;  ///< simulated GPU count
+  int c = 1;  ///< replication factor (1.5D strategies)
+  std::string partitioner = "block";  ///< partitioner registry name
+  PartitionerOptions partitioner_options;
+  CostModel cost_model;
+
+  // --- sampled-mode options ---
+  SamplingConfig sampling;
+};
+
+/// Fluent constructor for every trainer kind.
+class TrainerBuilder {
+ public:
+  explicit TrainerBuilder(const Dataset& dataset) : dataset_(&dataset) {}
+
+  /// Replace the whole configuration record.
+  TrainerBuilder& config(TrainConfig cfg) {
+    config_ = std::move(cfg);
+    return *this;
+  }
+
+  TrainerBuilder& gcn(GcnConfig cfg) {
+    config_.gcn = std::move(cfg);
+    return *this;
+  }
+  /// Execution mode / distribution strategy by registry name.
+  TrainerBuilder& strategy(std::string name) {
+    config_.strategy = std::move(name);
+    return *this;
+  }
+  TrainerBuilder& ranks(int p, int c = 1) {
+    config_.p = p;
+    config_.c = c;
+    return *this;
+  }
+  TrainerBuilder& partitioner(std::string name, PartitionerOptions opts = {}) {
+    config_.partitioner = std::move(name);
+    config_.partitioner_options = opts;
+    return *this;
+  }
+  TrainerBuilder& cost_model(const CostModel& model) {
+    config_.cost_model = model;
+    return *this;
+  }
+  TrainerBuilder& sampling(SamplingConfig cfg) {
+    config_.sampling = std::move(cfg);
+    return *this;
+  }
+  TrainerBuilder& epochs(int n) {
+    config_.gcn.epochs = n;
+    return *this;
+  }
+  TrainerBuilder& learning_rate(real_t lr) {
+    config_.gcn.learning_rate = lr;
+    return *this;
+  }
+
+  const TrainConfig& peek() const { return config_; }
+
+  /// Instantiate the trainer. Unknown strategy or partitioner names raise
+  /// std::invalid_argument listing the registered choices; geometry and
+  /// dimension violations raise Error (as the per-mode constructors do).
+  std::unique_ptr<Trainer> build() const;
+
+ private:
+  const Dataset* dataset_;
+  TrainConfig config_;
+};
+
+}  // namespace sagnn

@@ -1,6 +1,7 @@
 #include <numeric>
 
 #include "partition/partition.hpp"
+#include "partition/partitioner_registry.hpp"
 #include "sparse/blocks.hpp"
 
 namespace sagnn {
@@ -45,5 +46,16 @@ Partition RandomPartitioner::partition(const CsrMatrix& adj, int k) const {
   }
   return part;
 }
+
+namespace {
+const PartitionerRegistration kRegisterBlock{
+    "block", {}, [](const PartitionerOptions&) {
+      return std::make_unique<BlockPartitioner>();
+    }};
+const PartitionerRegistration kRegisterRandom{
+    "random", {}, [](const PartitionerOptions& opts) {
+      return std::make_unique<RandomPartitioner>(opts.seed);
+    }};
+}  // namespace
 
 }  // namespace sagnn

@@ -17,6 +17,7 @@
 #include <numeric>
 
 #include "partition/partition.hpp"
+#include "partition/partitioner_registry.hpp"
 #include "partition/refine_detail.hpp"
 
 namespace sagnn {
@@ -318,5 +319,12 @@ Partition GvbPartitioner::partition(const CsrMatrix& adj, int k) const {
   out.validate();
   return out;
 }
+
+namespace {
+const PartitionerRegistration kRegisterGvb{
+    "gvb", {"gvb(volume-balancing)"}, [](const PartitionerOptions& opts) {
+      return std::make_unique<GvbPartitioner>(opts);
+    }};
+}  // namespace
 
 }  // namespace sagnn

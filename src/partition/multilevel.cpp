@@ -12,6 +12,7 @@
 #include <numeric>
 
 #include "partition/partition.hpp"
+#include "partition/partitioner_registry.hpp"
 #include "partition/refine_detail.hpp"
 
 namespace sagnn {
@@ -351,5 +352,14 @@ Partition EdgeCutPartitioner::partition(const CsrMatrix& adj, int k) const {
   out.validate();
   return out;
 }
+
+namespace {
+// Canonical short name "metis" (how the paper refers to it); the class's
+// descriptive name() is an accepted alias so both spellings resolve.
+const PartitionerRegistration kRegisterEdgeCut{
+    "metis", {"edgecut", "edgecut(metis-like)"}, [](const PartitionerOptions& opts) {
+      return std::make_unique<EdgeCutPartitioner>(opts);
+    }};
+}  // namespace
 
 }  // namespace sagnn

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "partition/partitioner_registry.hpp"
+
 namespace sagnn {
 
 std::vector<vid_t> Partition::part_sizes() const {
@@ -41,11 +43,9 @@ void Partition::validate() const {
 
 std::unique_ptr<Partitioner> make_partitioner(const std::string& name,
                                               PartitionerOptions opts) {
-  if (name == "block") return std::make_unique<BlockPartitioner>();
-  if (name == "random") return std::make_unique<RandomPartitioner>(opts.seed);
-  if (name == "metis") return std::make_unique<EdgeCutPartitioner>(opts);
-  if (name == "gvb") return std::make_unique<GvbPartitioner>(opts);
-  throw Error("unknown partitioner: " + name + " (expected block|random|metis|gvb)");
+  // Throws std::invalid_argument listing the registered names when `name`
+  // matches neither a canonical name nor an alias.
+  return partitioner_registry().create(name, opts);
 }
 
 }  // namespace sagnn

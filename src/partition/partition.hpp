@@ -98,7 +98,11 @@ class GvbPartitioner final : public Partitioner {
   PartitionerOptions opts_;
 };
 
-/// Factory by name: "block" | "random" | "metis" | "gvb".
+/// Factory by registry name: "block" | "random" | "metis" | "gvb" (each
+/// partitioner's descriptive name() is accepted as an alias, e.g.
+/// "edgecut(metis-like)" for "metis"). Unknown names raise
+/// std::invalid_argument listing the registered names. New partitioners
+/// self-register via partition/partitioner_registry.hpp — no switch to edit.
 std::unique_ptr<Partitioner> make_partitioner(const std::string& name,
                                               PartitionerOptions opts = {});
 

@@ -1,0 +1,10 @@
+#include "partition/partitioner_registry.hpp"
+
+namespace sagnn {
+
+PartitionerRegistry& partitioner_registry() {
+  static PartitionerRegistry registry("partitioner");
+  return registry;
+}
+
+}  // namespace sagnn

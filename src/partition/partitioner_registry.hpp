@@ -1,0 +1,28 @@
+#pragma once
+// Self-registering partitioner catalog. Each partitioner translation unit
+// registers its factory under a short canonical name ("block", "random",
+// "metis", "gvb") plus its descriptive Partitioner::name() as an alias, so
+// both spellings resolve. make_partitioner() in partition.hpp is a thin
+// wrapper over this registry.
+
+#include "common/registry.hpp"
+#include "partition/partition.hpp"
+
+namespace sagnn {
+
+using PartitionerRegistry = NamedRegistry<Partitioner, const PartitionerOptions&>;
+
+/// The process-wide registry (Meyers singleton; safe to use from static
+/// registrars in other translation units).
+PartitionerRegistry& partitioner_registry();
+
+/// Static-initialization helper: declare one per partitioner .cpp.
+struct PartitionerRegistration {
+  PartitionerRegistration(const std::string& canonical,
+                          std::vector<std::string> aliases,
+                          PartitionerRegistry::Factory factory) {
+    partitioner_registry().add(canonical, std::move(aliases), std::move(factory));
+  }
+};
+
+}  // namespace sagnn

@@ -1,12 +1,20 @@
 // The paper's accuracy-parity claim (§6.2): sparsity-aware and oblivious
 // distributed training compute the same math as serial training, so losses
 // and accuracies agree to floating-point reordering tolerance — across all
-// four algorithms, all partitioners, and several process geometries.
+// algorithms, all partitioners, and several process geometries. The
+// registry-driven suite at the bottom re-derives its case list from the
+// strategy and partitioner registries, so every implementation added later
+// is automatically held to the same parity bar.
 #include <gtest/gtest.h>
+
+#include <cctype>
+#include <tuple>
 
 #include "gnn/dist_trainer.hpp"
 #include "gnn/serial_trainer.hpp"
+#include "gnn/strategy.hpp"
 #include "graph/datasets.hpp"
+#include "partition/partitioner_registry.hpp"
 
 namespace sagnn {
 namespace {
@@ -78,6 +86,56 @@ INSTANTIATE_TEST_SUITE_P(
         EqCase{DistAlgo::k2dSparse, 4, 1, "block"},
         EqCase{DistAlgo::k2dSparse, 9, 1, "gvb"},
         EqCase{DistAlgo::k2dSparse, 16, 1, "metis"}));
+
+// ---- Registry-driven sweep: EVERY registered (strategy x partitioner) ----
+// pair must reproduce the serial loss trajectory through TrainerBuilder.
+
+class RegistryPairMatchesSerial
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(RegistryPairMatchesSerial, LossTrajectoriesAgree) {
+  const auto& [strategy, partitioner] = GetParam();
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const int epochs = 3;
+  GcnConfig cfg = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
+  cfg.learning_rate = 0.3f;
+
+  auto serial = TrainerBuilder(ds).strategy("serial").gcn(cfg).build();
+  const auto serial_metrics = serial->train();
+
+  // p = 4 satisfies every registered geometry (any p for 1D, c^2 | p for
+  // 1.5D with c = 2, perfect square for 2D).
+  const int c = strategy.rfind("1.5d", 0) == 0 ? 2 : 1;
+  auto trainer = TrainerBuilder(ds)
+                     .strategy(strategy)
+                     .ranks(4, c)
+                     .partitioner(partitioner)
+                     .gcn(cfg)
+                     .build();
+  const auto& dist = trainer->train();
+
+  ASSERT_EQ(dist.size(), serial_metrics.size());
+  for (std::size_t e = 0; e < serial_metrics.size(); ++e) {
+    EXPECT_NEAR(dist[e].loss, serial_metrics[e].loss,
+                5e-3 * std::max(1.0, serial_metrics[e].loss))
+        << "epoch " << e;
+    EXPECT_NEAR(dist[e].train_accuracy, serial_metrics[e].train_accuracy, 0.02)
+        << "epoch " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredPairs, RegistryPairMatchesSerial,
+    ::testing::Combine(::testing::ValuesIn(strategy_registry().names()),
+                       ::testing::ValuesIn(partitioner_registry().names())),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
 
 TEST(Equivalence, ObliviousAndSparseProduceSameTrajectory) {
   // Same partitioner, same geometry: only the communication pattern

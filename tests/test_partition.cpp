@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "graph/generators.hpp"
 #include "partition/metrics.hpp"
@@ -124,8 +125,29 @@ TEST(Partition, GvbValidOnCliqueRing) {
   EXPECT_LE(stats.edgecut, 14);
 }
 
-TEST(Partition, FactoryRejectsUnknown) {
-  EXPECT_THROW(make_partitioner("zoltan"), Error);
+TEST(Partition, FactoryRejectsUnknownListingRegisteredNames) {
+  try {
+    make_partitioner("zoltan");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("zoltan"), std::string::npos);
+    for (const char* name : {"block", "random", "metis", "gvb"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(Partition, FactoryAcceptsDescriptiveAliases) {
+  // The short registry name and each partitioner's descriptive name()
+  // resolve to the same implementation — the historical "metis" vs
+  // "edgecut(metis-like)" mismatch must not silently default.
+  EXPECT_EQ(make_partitioner("metis")->name(), "edgecut(metis-like)");
+  EXPECT_EQ(make_partitioner("edgecut(metis-like)")->name(),
+            "edgecut(metis-like)");
+  EXPECT_EQ(make_partitioner("edgecut")->name(), "edgecut(metis-like)");
+  EXPECT_EQ(make_partitioner("gvb(volume-balancing)")->name(),
+            make_partitioner("gvb")->name());
 }
 
 TEST(Partition, SinglePartIsTrivial) {

@@ -39,7 +39,7 @@ TEST(SampledTrainer, EpochVisitsEveryTrainingVertexOnce) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
   const GcnConfig cfg = config_for(ds);
   SampledTrainer trainer(ds, cfg, sampling_for(cfg, 4, 50));
-  const auto metrics = trainer.run_epoch();
+  const auto metrics = trainer.run_epoch_detailed();
   std::int64_t n_train = 0;
   for (auto m : ds.train_mask) n_train += m;
   EXPECT_EQ(metrics.batches, (n_train + 49) / 50);
@@ -58,7 +58,7 @@ TEST(SampledTrainer, HugeFanoutMatchesFullNeighborhood) {
   SerialTrainer serial(ds, cfg);
   const Matrix full_logits = serial.forward();
   const LossStats full = softmax_xent_stats(full_logits, ds.labels, ds.train_mask);
-  const auto epoch = sampled.run_epoch();
+  const auto epoch = sampled.run_epoch_detailed();
   // One giant batch over all training vertices, exact neighborhoods:
   // identical math to full-batch (up to fp ordering).
   EXPECT_EQ(epoch.batches, 1);
@@ -91,7 +91,7 @@ TEST(SampledTrainer, SampledEdgesShowLhopBlowup) {
   const Dataset ds = make_reddit_sim(DatasetScale::kTiny);  // dense graph
   const GcnConfig cfg = config_for(ds, 1);
   SampledTrainer trainer(ds, cfg, sampling_for(cfg, /*fanout=*/10, /*batch=*/16));
-  const auto epoch = trainer.run_epoch();
+  const auto epoch = trainer.run_epoch_detailed();
   EXPECT_GT(epoch.sampled_edges, ds.n_edges() / 4)
       << "sampling should touch a large multiple of the graph per epoch";
 }
@@ -101,8 +101,8 @@ TEST(SampledTrainer, DeterministicPerSeed) {
   const GcnConfig cfg = config_for(ds, 2);
   SampledTrainer a(ds, cfg, sampling_for(cfg));
   SampledTrainer b(ds, cfg, sampling_for(cfg));
-  const auto ma = a.train();
-  const auto mb = b.train();
+  const auto ma = a.train_detailed();
+  const auto mb = b.train_detailed();
   for (std::size_t e = 0; e < ma.size(); ++e) {
     EXPECT_DOUBLE_EQ(ma[e].loss, mb[e].loss);
     EXPECT_EQ(ma[e].sampled_edges, mb[e].sampled_edges);

@@ -1,0 +1,191 @@
+// The unified Trainer/TrainerBuilder API: registry resolution and error
+// reporting, polymorphic use of all trainer kinds, epoch-at-a-time
+// stepping vs whole-run training, and the back-compat DistAlgo mapping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gnn/dist_trainer.hpp"
+#include "gnn/distributed_trainer.hpp"
+#include "gnn/sampled_trainer.hpp"
+#include "gnn/serial_trainer.hpp"
+#include "gnn/strategy.hpp"
+#include "graph/datasets.hpp"
+#include "partition/partitioner_registry.hpp"
+
+namespace sagnn {
+namespace {
+
+GcnConfig tiny_config(const Dataset& ds, int epochs = 3) {
+  GcnConfig cfg = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
+  cfg.learning_rate = 0.3f;
+  return cfg;
+}
+
+TEST(StrategyRegistry, ListsAllPaperAlgorithms) {
+  const auto names = strategy_registry().names();
+  for (const char* expected : {"1d-oblivious", "1d-sparse", "1.5d-oblivious",
+                               "1.5d-sparse", "2d-oblivious", "2d-sparse"}) {
+    EXPECT_TRUE(strategy_registry().contains(expected)) << expected;
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(StrategyRegistry, CanonicalNameRoundTrips) {
+  for (const auto& name : strategy_registry().names()) {
+    EXPECT_EQ(strategy_registry().create(name)->name(), name);
+  }
+}
+
+TEST(StrategyRegistry, AcceptsHistoricalAliases) {
+  for (DistAlgo algo : {DistAlgo::k1dOblivious, DistAlgo::k1dSparse,
+                        DistAlgo::k15dOblivious, DistAlgo::k15dSparse,
+                        DistAlgo::k2dOblivious, DistAlgo::k2dSparse}) {
+    // Both the registry name and the descriptive to_string() form resolve.
+    EXPECT_EQ(strategy_registry().create(strategy_name(algo))->name(),
+              strategy_name(algo));
+    EXPECT_EQ(strategy_registry().create(to_string(algo))->name(),
+              strategy_name(algo));
+  }
+}
+
+TEST(StrategyRegistry, UnknownNameListsRegisteredStrategies) {
+  try {
+    strategy_registry().create("3d-sparse");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3d-sparse"), std::string::npos);
+    EXPECT_NE(what.find("1d-sparse"), std::string::npos);
+    EXPECT_NE(what.find("2d-oblivious"), std::string::npos);
+  }
+}
+
+TEST(TrainerBuilder, BuildsEveryModePolymorphically) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const GcnConfig cfg = tiny_config(ds, 2);
+  SamplingConfig sampling;
+  sampling.fanouts.assign(static_cast<std::size_t>(cfg.n_layers()), 5);
+
+  std::vector<std::unique_ptr<Trainer>> trainers;
+  trainers.push_back(TrainerBuilder(ds).strategy("serial").gcn(cfg).build());
+  trainers.push_back(
+      TrainerBuilder(ds).strategy("sampled").sampling(sampling).gcn(cfg).build());
+  trainers.push_back(TrainerBuilder(ds)
+                         .strategy("1d-sparse")
+                         .ranks(4)
+                         .partitioner("metis")
+                         .gcn(cfg)
+                         .build());
+  for (auto& trainer : trainers) {
+    const auto& metrics = trainer->train();
+    EXPECT_EQ(metrics.size(), 2u) << trainer->name();
+    EXPECT_EQ(trainer->epochs_run(), 2) << trainer->name();
+    EXPECT_GT(trainer->result().epochs.front().loss, 0.0) << trainer->name();
+  }
+}
+
+TEST(TrainerBuilder, DerivesGcnDimsFromDataset) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  auto trainer = TrainerBuilder(ds).epochs(1).build();  // no dims given
+  EXPECT_EQ(trainer->train().size(), 1u);
+}
+
+TEST(TrainerBuilder, UnknownStrategyThrowsInvalidArgument) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  EXPECT_THROW(TrainerBuilder(ds).strategy("3d-sparse").gcn(tiny_config(ds)).build(),
+               std::invalid_argument);
+}
+
+TEST(TrainerBuilder, UnknownPartitionerThrowsInvalidArgument) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  EXPECT_THROW(TrainerBuilder(ds)
+                   .strategy("1d-sparse")
+                   .partitioner("zoltan")
+                   .gcn(tiny_config(ds))
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(DistributedTrainer, EpochSteppingMatchesWholeRun) {
+  // Per-rank state (weights, communicators, index exchange) persists
+  // across run_epoch() calls, so stepping must be indistinguishable from
+  // one train() call.
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const GcnConfig cfg = tiny_config(ds, 4);
+
+  auto whole = TrainerBuilder(ds)
+                   .strategy("1d-sparse")
+                   .ranks(4)
+                   .partitioner("gvb")
+                   .gcn(cfg)
+                   .build();
+  const auto whole_metrics = whole->train();
+
+  auto stepped = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(4)
+                     .partitioner("gvb")
+                     .gcn(cfg)
+                     .build();
+  std::vector<EpochMetrics> step_metrics;
+  for (int e = 0; e < 2; ++e) step_metrics.push_back(stepped->run_epoch());
+  // Finish through train(): it must run exactly the remaining epochs.
+  const auto& all = stepped->train();
+  ASSERT_EQ(all.size(), whole_metrics.size());
+  for (std::size_t e = 0; e < all.size(); ++e) {
+    EXPECT_DOUBLE_EQ(all[e].loss, whole_metrics[e].loss) << "epoch " << e;
+  }
+  EXPECT_DOUBLE_EQ(step_metrics[1].loss, all[1].loss);
+
+  // result() reflects exactly the epochs run; per-epoch volumes agree with
+  // the whole-run report.
+  const TrainResult& a = stepped->result();
+  const TrainResult& b = whole->result();
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (const auto& [phase, vol] : b.phase_volumes) {
+    ASSERT_TRUE(a.phase_volumes.count(phase)) << phase;
+    EXPECT_DOUBLE_EQ(a.phase_volumes.at(phase).megabytes_per_epoch,
+                     vol.megabytes_per_epoch)
+        << phase;
+  }
+}
+
+TEST(DistributedTrainer, ResultAfterPartialRunAveragesRunEpochs) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(4)
+                     .gcn(tiny_config(ds, 5))
+                     .build();
+  (void)trainer->run_epoch();
+  (void)trainer->run_epoch();
+  const TrainResult& partial = trainer->result();
+  EXPECT_EQ(partial.epochs.size(), 2u);
+  EXPECT_GT(partial.phase_volumes.at("alltoall").megabytes_per_epoch, 0.0);
+}
+
+TEST(DistAlgoShim, ToTrainConfigMapsEveryField) {
+  DistTrainerOptions opt;
+  opt.algo = DistAlgo::k15dSparse;
+  opt.p = 8;
+  opt.c = 2;
+  opt.partitioner = "gvb";
+  opt.gcn.dims = {4, 16, 16, 3};
+  const TrainConfig cfg = opt.to_train_config();
+  EXPECT_EQ(cfg.strategy, "1.5d-sparse");
+  EXPECT_EQ(cfg.p, 8);
+  EXPECT_EQ(cfg.c, 2);
+  EXPECT_EQ(cfg.partitioner, "gvb");
+  EXPECT_EQ(cfg.gcn.dims, opt.gcn.dims);
+}
+
+TEST(PartitionerRegistryApi, NamesAreTheSupportedVocabulary) {
+  const auto names = partitioner_registry().names();
+  EXPECT_EQ(names, (std::vector<std::string>{"block", "gvb", "metis", "random"}));
+}
+
+}  // namespace
+}  // namespace sagnn
