@@ -11,13 +11,14 @@
 // with no parsing code to update. Unknown names fail with a message
 // listing the registered choices.
 //
-// Strategies:   1d-oblivious | 1d-sparse | 1.5d-oblivious | 1.5d-sparse
-//               | 2d-oblivious | 2d-sparse   (2D needs a square p)
+// Strategies:   1d-oblivious | 1d-sparse | 1d-overlap | 1.5d-oblivious
+//               | 1.5d-sparse | 2d-oblivious | 2d-sparse  (2D: square p)
 // Partitioners: block | random | metis | gvb
 //
 // c defaults to 1; pass it explicitly (e.g. "... 32 4") to exercise 1.5D
 // replication — with c=1 the 1.5D algorithms degenerate to the 1D layout.
-// The banner echoes the effective c.
+// The banner echoes the effective c. A sixth argument sets the column
+// chunk count for the pipelined strategies (default 4).
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   const std::string partitioner = argc > 3 ? argv[3] : "gvb";
   const int p = argc > 4 ? std::atoi(argv[4]) : 8;
   const int c = argc > 5 ? std::atoi(argv[5]) : 1;
+  const int chunks = argc > 6 ? std::atoi(argv[6]) : 4;
 
   try {
     const Dataset ds = make_dataset(dataset, DatasetScale::kSmall);
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
     spec.partitioner = partitioner;
     spec.p = p;
     spec.c = c;  // only the 1.5D family reads it; others ignore c
+    spec.pipeline_chunks = chunks;  // only the pipelined strategies read it
     spec.epochs = 10;
     spec.gcn.learning_rate = 0.3f;
 
@@ -73,6 +76,11 @@ int main(int argc, char** argv) {
                 "+ bcast %.3f + allreduce %.3f + other %.3f\n",
                 m.total() * 1e3, m.compute * 1e3, m.alltoall * 1e3,
                 m.bcast * 1e3, m.allreduce * 1e3, m.other * 1e3);
+    std::printf("schedule columns: bulk %.3f ms | pipelined(%d) %.3f ms | "
+                "overlap bound %.3f ms\n",
+                r.modeled_epoch_seconds() * 1e3, r.pipeline_stages,
+                r.modeled_epoch_pipelined_seconds() * 1e3,
+                r.modeled_epoch_overlapped_seconds() * 1e3);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -18,6 +18,8 @@ struct ExperimentSpec {
   int p = 4;
   int c = 1;
   int epochs = 2;
+  /// Column chunks for pipelined strategies ("1d-overlap").
+  int pipeline_chunks = 4;
   /// Layer widths etc.; dims are auto-derived from the dataset when empty.
   GcnConfig gcn;
   PartitionerOptions partitioner_options;

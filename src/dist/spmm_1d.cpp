@@ -1,5 +1,7 @@
 #include "dist/spmm_1d.hpp"
 
+#include <algorithm>
+
 #include "common/timer.hpp"
 #include "sparse/spmm.hpp"
 
@@ -37,8 +39,11 @@ DistSpmm1d::DistSpmm1d(Comm& comm, const CsrMatrix& a,
 Matrix DistSpmm1d::multiply(Comm& comm, const Matrix& h_local, double* cpu_seconds) {
   SAGNN_REQUIRE(h_local.n_rows() == local_.local_rows(),
                 "H block must match this rank's row range");
+  // The bulk-synchronous sparsity-aware multiply IS the single-chunk
+  // pipelined schedule (untagged phase, no extra column copies) — one
+  // implementation, so the exchange/consume protocol cannot drift.
   return mode_ == SpmmMode::kSparsityAware
-             ? multiply_sparsity_aware(comm, h_local, cpu_seconds)
+             ? multiply_pipelined(comm, h_local, 1, cpu_seconds)
              : multiply_oblivious(comm, h_local, cpu_seconds);
 }
 
@@ -63,44 +68,92 @@ Matrix DistSpmm1d::multiply_oblivious(Comm& comm, const Matrix& h_local,
   return z;
 }
 
-Matrix DistSpmm1d::multiply_sparsity_aware(Comm& comm, const Matrix& h_local,
-                                           double* cpu) {
+Matrix DistSpmm1d::multiply_pipelined(Comm& comm, const Matrix& h_local,
+                                      int chunks, double* cpu) {
+  SAGNN_REQUIRE(mode_ == SpmmMode::kSparsityAware,
+                "pipelined multiply needs the sparsity-aware index exchange");
+  SAGNN_REQUIRE(h_local.n_rows() == local_.local_rows(),
+                "H block must match this rank's row range");
   const vid_t f = h_local.n_cols();
   const int p = comm.size();
+  const int k_chunks =
+      std::max(1, std::min(chunks, static_cast<int>(std::max<vid_t>(1, f))));
+  // The single-chunk schedule IS the bulk-synchronous sparsity-aware
+  // multiply: untagged phase, base tag, no column slicing or pasting.
+  const bool chunked = k_chunks > 1;
+  const auto col_begin = [&](int k) {
+    return static_cast<vid_t>(static_cast<std::int64_t>(f) * k / k_chunks);
+  };
 
-  // Pack the rows each peer requested from our block.
-  ThreadCpuTimer pack_timer;
-  std::vector<std::vector<real_t>> send(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    if (r == comm.rank()) continue;
-    const auto& rows = requests_[static_cast<std::size_t>(r)];
-    auto& buf = send[static_cast<std::size_t>(r)];
-    buf.reserve(rows.size() * static_cast<std::size_t>(f));
-    for (vid_t row : rows) {
-      buf.insert(buf.end(), h_local.row(row), h_local.row(row) + f);
+  // Pack and exchange one column chunk of the requested rows. Every chunk
+  // gets its own traffic stage and tag window, so the stages neither blur
+  // in the cost accounting nor cross-match when in flight simultaneously.
+  const auto exchange = [&](int k) {
+    const vid_t c0 = col_begin(k);
+    const vid_t fc = col_begin(k + 1) - c0;
+    ThreadCpuTimer pack_timer;
+    std::vector<std::vector<real_t>> send(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      if (r == comm.rank()) continue;
+      const auto& rows = requests_[static_cast<std::size_t>(r)];
+      auto& buf = send[static_cast<std::size_t>(r)];
+      buf.reserve(rows.size() * static_cast<std::size_t>(fc));
+      for (vid_t row : rows) {
+        buf.insert(buf.end(), h_local.row(row) + c0, h_local.row(row) + c0 + fc);
+      }
     }
-  }
-  if (cpu != nullptr) *cpu += pack_timer.seconds();
+    if (cpu != nullptr) *cpu += pack_timer.seconds();
+    // Distinct tag bases for up to 127 in-flight chunks, staying inside
+    // the 1<<20 window reserved per collective (127 * 8192 + p < 1<<20);
+    // chunks beyond that reuse a base, which stays safe because recv
+    // matches FIFO per (src, tag).
+    return alltoallv<real_t>(
+        comm, send,
+        chunked ? TrafficRecorder::stage_phase("alltoall", k) : "alltoall",
+        coll_detail::kAlltoallTag + (chunked ? (1 + k % 127) * 8192L : 0L));
+  };
 
-  auto received = alltoallv<real_t>(comm, send, "alltoall");
+  // Own block: gather the full-width rows once, slice per chunk below.
+  ThreadCpuTimer gather_timer;
+  const Matrix own_packed =
+      h_local.gather_rows(local_.compacted_block(comm.rank()).cols);
+  if (cpu != nullptr) *cpu += gather_timer.seconds();
 
-  // Local SpMM on the compacted blocks: block j's columns index straight
-  // into the packed buffer of its needed rows.
-  ThreadCpuTimer timer;
+  // Software pipeline: the exchange of chunk k+1 is issued before the
+  // local SpMM of chunk k, so its messages are in flight while we compute.
   Matrix z(local_.local_rows(), f);
-  for (int j = 0; j < p; ++j) {
-    const CompactedBlock& block = local_.compacted_block(j);
-    if (block.matrix.nnz() == 0) continue;
-    Matrix packed;
-    if (j == comm.rank()) {
-      packed = h_local.gather_rows(block.cols);
-    } else {
-      packed = matrix_from_flat(static_cast<vid_t>(block.cols.size()), f,
-                                std::move(received[static_cast<std::size_t>(j)]));
+  auto received_next = exchange(0);
+  for (int k = 0; k < k_chunks; ++k) {
+    auto received = std::move(received_next);
+    if (k + 1 < k_chunks) received_next = exchange(k + 1);
+    const vid_t c0 = col_begin(k);
+    const vid_t fc = col_begin(k + 1) - c0;
+    ThreadCpuTimer timer;
+    // Accumulate into a chunk-wide scratch (pasted back below) when
+    // chunked, straight into z when not.
+    Matrix z_chunk = chunked ? Matrix(local_.local_rows(), fc) : Matrix();
+    Matrix& z_out = chunked ? z_chunk : z;
+    for (int j = 0; j < p; ++j) {
+      const CompactedBlock& block = local_.compacted_block(j);
+      if (block.matrix.nnz() == 0) continue;
+      Matrix packed_store;
+      const Matrix* packed = &packed_store;
+      if (j == comm.rank()) {
+        if (chunked) {
+          packed_store = own_packed.slice_cols(c0, c0 + fc);
+        } else {
+          packed = &own_packed;
+        }
+      } else {
+        packed_store =
+            matrix_from_flat(static_cast<vid_t>(block.cols.size()), fc,
+                             std::move(received[static_cast<std::size_t>(j)]));
+      }
+      spmm_compacted_accumulate(block.matrix, *packed, z_out);
     }
-    spmm_compacted_accumulate(block.matrix, packed, z);
+    if (chunked) z.paste_cols(c0, z_chunk);
+    if (cpu != nullptr) *cpu += timer.seconds();
   }
-  if (cpu != nullptr) *cpu += timer.seconds();
   return z;
 }
 

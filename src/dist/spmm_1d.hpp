@@ -33,9 +33,20 @@ class DistSpmm1d {
   Matrix multiply(Comm& comm, const Matrix& h_local,
                   double* cpu_seconds = nullptr);
 
+  /// Chunked-pipelining multiply (sparsity-aware mode only): H is split
+  /// into `chunks` column chunks and the alltoallv of chunk k+1 is issued
+  /// before the local SpMM of chunk k, so a latency-aware schedule can
+  /// overlap the two (the simulated traffic of stage k is recorded under
+  /// phase "alltoall#k"; see EpochCost::total_pipelined()). Numerically
+  /// identical to multiply(): each output element accumulates its
+  /// neighbors in the same order, columns are independent. `chunks` = 1
+  /// is exactly the bulk-synchronous sparsity-aware multiply (untagged
+  /// "alltoall" phase) — multiply() delegates here.
+  Matrix multiply_pipelined(Comm& comm, const Matrix& h_local, int chunks,
+                            double* cpu_seconds = nullptr);
+
  private:
   Matrix multiply_oblivious(Comm& comm, const Matrix& h_local, double* cpu);
-  Matrix multiply_sparsity_aware(Comm& comm, const Matrix& h_local, double* cpu);
 
   DistCsr local_;
   SpmmMode mode_;

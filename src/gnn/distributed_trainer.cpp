@@ -166,19 +166,29 @@ const TrainResult& DistributedTrainer::result() {
 void DistributedTrainer::finalize() {
   if (finalized_epochs_ == epoch_) return;
   finalized_epochs_ = epoch_;
+  // Every per-epoch average below divides by the COMPLETED epoch count
+  // (== result_.epochs.size()), so a run stopped early via run_epoch()
+  // stepping reports consistently.
   result_.epochs = epochs_;
 
   const TrafficRecorder traffic = cluster_->traffic();  // snapshot
   const double inv_epochs = 1.0 / std::max(1, epoch_);
 
   // Per-epoch traffic: everything except setup and barriers, averaged.
+  // Stage-tagged phases ("alltoall#k") aggregate under their base name;
+  // the deepest stage count is the pipeline depth the run used.
   result_.phase_volumes.clear();
+  result_.pipeline_stages = 1;
   for (const auto& phase : traffic.phase_names()) {
-    if (phase == "sync" || phase == "index_exchange") continue;
-    const PhaseTraffic tr = traffic.phase(phase);
-    result_.phase_volumes[phase] = {
+    const std::string base = TrafficRecorder::base_name(phase);
+    if (base == "sync" || base == "index_exchange") continue;
+    if (result_.phase_volumes.count(base)) continue;  // base seen already
+    const PhaseTraffic tr = traffic.phase_total(base);
+    result_.phase_volumes[base] = {
         static_cast<double>(tr.total_bytes()) * inv_epochs / 1.0e6,
         static_cast<double>(tr.total_msgs()) * inv_epochs};
+    result_.pipeline_stages =
+        std::max(result_.pipeline_stages, traffic.stage_count(base));
   }
 
   const StrategyContext ctx = context();

@@ -39,7 +39,7 @@ class DistributedTrainer final : public Trainer {
   struct RankState;
 
   StrategyContext context() const {
-    return {config_.p, config_.c, &a_, ranges_};
+    return {config_.p, config_.c, &a_, ranges_, config_.pipeline_chunks};
   }
   void finalize();
 

@@ -1,0 +1,12 @@
+#include "gnn/strategies/strategy_1d_overlap.hpp"
+
+namespace sagnn {
+
+namespace {
+const StrategyRegistration kRegister1dOverlap{
+    "1d-overlap", {"1d-pipelined"}, [] {
+      return std::make_unique<Strategy1dOverlap>();
+    }};
+}  // namespace
+
+}  // namespace sagnn

@@ -1,0 +1,59 @@
+#pragma once
+// Chunked-pipelining 1D distribution strategy ("1d-overlap"): the
+// sparsity-aware 1D scheme of the paper with the feature/gradient matrix
+// split into K column chunks, interleaving the alltoallv of chunk k+1 with
+// the local SpMM of chunk k in both propagation directions (the overlap
+// direction of Selvitopi et al.). Reuses the 1D sparsity-aware index
+// exchange verbatim — the moved bytes per epoch are identical to
+// "1d-sparse"; only the message count (x K) and the schedule differ. The
+// chunk count comes from StrategyContext::pipeline_chunks
+// (TrainConfig::pipeline_chunks at the API surface); each chunk's traffic
+// is recorded under the stage-tagged phase "alltoall#k", which
+// EpochCost::total_pipelined() turns into the pipelined critical path.
+
+#include <optional>
+
+#include "dist/spmm_1d.hpp"
+#include "gnn/strategy.hpp"
+
+namespace sagnn {
+
+class Strategy1dOverlap final : public DistributionStrategy {
+ public:
+  std::string name() const override { return "1d-overlap"; }
+
+  int n_blocks(int p, int /*c*/) const override {
+    SAGNN_REQUIRE(p >= 1, "need at least one rank");
+    return p;
+  }
+
+  void setup(Comm& comm, const StrategyContext& ctx) override {
+    SAGNN_REQUIRE(ctx.pipeline_chunks >= 1,
+                  "pipeline_chunks must be at least 1");
+    chunks_ = ctx.pipeline_chunks;
+    world_.emplace(comm);
+    spmm_ = std::make_unique<DistSpmm1d>(*world_, *ctx.adjacency, ctx.ranges,
+                                         SpmmMode::kSparsityAware);
+  }
+
+  Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {
+    return spmm_->multiply_pipelined(*world_, x_local, chunks_, cpu_seconds);
+  }
+  Matrix propagate_backward(const Matrix& g_local, double* cpu_seconds) override {
+    return spmm_->multiply_pipelined(*world_, g_local, chunks_, cpu_seconds);
+  }
+
+  Comm& reduce_comm() override { return *world_; }
+  const BlockRange& my_range() const override { return spmm_->my_range(); }
+
+  std::vector<double> rank_work(const StrategyContext& ctx) const override {
+    return block_row_nnz_work(ctx);
+  }
+
+ private:
+  int chunks_ = 4;
+  std::optional<Comm> world_;
+  std::unique_ptr<DistSpmm1d> spmm_;
+};
+
+}  // namespace sagnn

@@ -42,19 +42,27 @@ EpochCost DistributionStrategy::epoch_cost(const CostModel& model,
 
   // The alpha-beta model is linear in byte and message counts and every
   // epoch's traffic is identical, so one epoch costs the whole run divided
-  // by the epoch count.
+  // by the epoch count. The one-time index exchange is excluded during
+  // assembly (like "sync"), so the per-epoch `other` bucket is exact — no
+  // subtract-and-clamp that could silently absorb accounting drift.
   const double inv_epochs = 1.0 / std::max(1, epochs);
-  const EpochCost all = sagnn::epoch_cost(model, traffic, smoothed);
-  EpochCost epoch{all.compute * inv_epochs, all.alltoall * inv_epochs,
-                  all.bcast * inv_epochs, all.allreduce * inv_epochs,
-                  all.other * inv_epochs};
+  const EpochCost all =
+      sagnn::epoch_cost(model, traffic, smoothed, {"index_exchange"});
+  return EpochCost{all.compute * inv_epochs, all.alltoall * inv_epochs,
+                   all.bcast * inv_epochs, all.allreduce * inv_epochs,
+                   all.other * inv_epochs};
+}
 
-  // Remove the one-time index exchange from the per-epoch breakdown: it is
-  // recorded under its own phase, which epoch_cost() buckets into `other`.
-  const double setup_cost =
-      model.phase_seconds(traffic.phase("index_exchange"));
-  epoch.other = std::max(0.0, epoch.other - setup_cost * inv_epochs);
-  return epoch;
+std::vector<double> block_row_nnz_work(const StrategyContext& ctx) {
+  // Rank r owns block row r outright: its work is the block's nnz.
+  std::vector<double> work(static_cast<std::size_t>(ctx.p), 0.0);
+  const auto row_ptr = ctx.adjacency->row_ptr();
+  for (int r = 0; r < ctx.p; ++r) {
+    const BlockRange& range = ctx.ranges[static_cast<std::size_t>(r)];
+    work[static_cast<std::size_t>(r)] =
+        static_cast<double>(row_ptr[range.end] - row_ptr[range.begin]);
+  }
+  return work;
 }
 
 }  // namespace sagnn

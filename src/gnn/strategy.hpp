@@ -36,6 +36,9 @@ struct StrategyContext {
   int c = 1;  ///< replication factor (1.5D family; others ignore it)
   const CsrMatrix* adjacency = nullptr;
   std::span<const BlockRange> ranges;
+  /// Column-chunk count for pipelined strategies ("1d-overlap"); bulk-
+  /// synchronous strategies ignore it.
+  int pipeline_chunks = 4;
 };
 
 class DistributionStrategy {
@@ -89,6 +92,10 @@ class DistributionStrategy {
   std::vector<double> smooth_rank_cpu(const StrategyContext& ctx,
                                       std::span<const double> measured) const;
 };
+
+/// rank_work() of any strategy whose rank r owns block row r outright
+/// (the 1D family): each rank's share is its block's nnz.
+std::vector<double> block_row_nnz_work(const StrategyContext& ctx);
 
 using StrategyRegistry = NamedRegistry<DistributionStrategy>;
 

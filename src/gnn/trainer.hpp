@@ -65,10 +65,22 @@ struct SamplingConfig {
 struct TrainResult {
   std::vector<EpochMetrics> epochs;
 
+  /// Epochs actually executed — the count every per-epoch average below is
+  /// taken over. A run stopped early via run_epoch() stepping reports the
+  /// completed count, never the configured one.
+  int epochs_completed() const { return static_cast<int>(epochs.size()); }
+
   /// alpha-beta modeled time for ONE epoch, split by phase.
   EpochCost modeled_epoch;
 
-  /// Exact per-phase communication per epoch, from recorded traffic.
+  /// Pipeline stages (column chunks) the strategy's dominant phase ran in:
+  /// 1 for every bulk-synchronous strategy, the chunk count for
+  /// "1d-overlap". Feeds modeled_epoch.total_pipelined().
+  int pipeline_stages = 1;
+
+  /// Exact per-phase communication per epoch, from recorded traffic,
+  /// keyed by base phase name (the stages of a chunk-tagged phase such as
+  /// "alltoall#k" aggregate under "alltoall").
   std::map<std::string, PhaseVolume> phase_volumes;
 
   /// Predicted sparsity-aware volumes from (matrix, partition) alone;
@@ -79,7 +91,15 @@ struct TrainResult {
   double setup_megabytes = 0;  ///< one-time index-exchange volume
   double max_rank_cpu_seconds_per_epoch = 0;  ///< unscaled compute bottleneck
 
+  /// The three modeled schedule columns: bulk-synchronous, pipelined at
+  /// the stage count the run actually used, and the ideal overlap bound.
   double modeled_epoch_seconds() const { return modeled_epoch.total(); }
+  double modeled_epoch_pipelined_seconds() const {
+    return modeled_epoch.total_pipelined(pipeline_stages);
+  }
+  double modeled_epoch_overlapped_seconds() const {
+    return modeled_epoch.total_overlapped();
+  }
 };
 
 /// Common trainer interface. Epoch-at-a-time stepping and whole-run
@@ -118,6 +138,9 @@ struct TrainConfig {
   std::string partitioner = "block";  ///< partitioner registry name
   PartitionerOptions partitioner_options;
   CostModel cost_model;
+  /// Column chunks for pipelined strategies ("1d-overlap"); bulk-
+  /// synchronous strategies ignore it.
+  int pipeline_chunks = 4;
 
   // --- sampled-mode options ---
   SamplingConfig sampling;
@@ -155,6 +178,11 @@ class TrainerBuilder {
   }
   TrainerBuilder& cost_model(const CostModel& model) {
     config_.cost_model = model;
+    return *this;
+  }
+  /// Column-chunk count for pipelined strategies (>= 1).
+  TrainerBuilder& pipeline_chunks(int chunks) {
+    config_.pipeline_chunks = chunks;
     return *this;
   }
   TrainerBuilder& sampling(SamplingConfig cfg) {

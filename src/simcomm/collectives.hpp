@@ -163,29 +163,35 @@ std::vector<std::vector<T>> allgatherv(Comm& comm, std::span<const T> mine,
 /// All-to-all with per-destination buffers: send_bufs[d] goes to rank d;
 /// returns recv_bufs where recv_bufs[s] came from rank s. Grouped pairwise
 /// exchange: step k pairs rank r with (r +/- k) mod p, the NCCL pattern the
-/// paper describes for torch.distributed's all_to_all.
+/// paper describes for torch.distributed's all_to_all. Pipelined callers
+/// that keep several exchanges in flight may pass distinct `tag_base`s
+/// (one per chunk) to keep the stages disjoint in the tag space; bases
+/// must leave room for p step offsets and stay inside the 1<<20 window
+/// between collective tag bases. Reusing a base across back-to-back
+/// exchanges is still correct — recv matches FIFO per (src, tag).
 template <typename T>
 std::vector<std::vector<T>> alltoallv(Comm& comm,
                                       const std::vector<std::vector<T>>& send_bufs,
-                                      const std::string& phase = "alltoall") {
+                                      const std::string& phase = "alltoall",
+                                      long tag_base = coll_detail::kAlltoallTag) {
   const int p = comm.size();
   SAGNN_REQUIRE(send_bufs.size() == static_cast<std::size_t>(p),
                 "alltoallv needs one send buffer per rank");
   std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
   // Local block: a self-copy, recorded so volume accounting can decide how
   // to treat it (CostModel ignores src==dst traffic).
-  comm.send<T>(comm.rank(), coll_detail::kAlltoallTag,
+  comm.send<T>(comm.rank(), tag_base,
                std::span<const T>(send_bufs[static_cast<std::size_t>(comm.rank())]),
                phase);
   recv_bufs[static_cast<std::size_t>(comm.rank())] =
-      comm.recv<T>(comm.rank(), coll_detail::kAlltoallTag);
+      comm.recv<T>(comm.rank(), tag_base);
   for (int step = 1; step < p; ++step) {
     const int dst = (comm.rank() + step) % p;
     const int src = (comm.rank() - step + p) % p;
-    comm.send<T>(dst, coll_detail::kAlltoallTag + step,
+    comm.send<T>(dst, tag_base + step,
                  std::span<const T>(send_bufs[static_cast<std::size_t>(dst)]), phase);
     recv_bufs[static_cast<std::size_t>(src)] =
-        comm.recv<T>(src, coll_detail::kAlltoallTag + step);
+        comm.recv<T>(src, tag_base + step);
   }
   return recv_bufs;
 }

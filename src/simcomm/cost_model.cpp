@@ -42,17 +42,23 @@ double CostModel::compute_seconds(
 }
 
 EpochCost epoch_cost(const CostModel& model, const TrafficRecorder& traffic,
-                     const std::vector<double>& per_rank_cpu_seconds) {
+                     const std::vector<double>& per_rank_cpu_seconds,
+                     const std::vector<std::string>& exclude_bases) {
   EpochCost cost;
   cost.compute = model.compute_seconds(per_rank_cpu_seconds);
   for (const auto& name : traffic.phase_names()) {
-    if (name == "sync") continue;
+    const std::string base = TrafficRecorder::base_name(name);
+    if (base == "sync") continue;
+    if (std::find(exclude_bases.begin(), exclude_bases.end(), base) !=
+        exclude_bases.end()) {
+      continue;
+    }
     const double s = model.phase_seconds(traffic.phase(name));
-    if (name == "alltoall") {
+    if (base == "alltoall") {
       cost.alltoall += s;
-    } else if (name == "bcast") {
+    } else if (base == "bcast") {
       cost.bcast += s;
-    } else if (name == "allreduce") {
+    } else if (base == "allreduce") {
       cost.allreduce += s;
     } else {
       cost.other += s;

@@ -89,12 +89,40 @@ struct EpochCost {
   /// longer. A lower bound for any real pipelining scheme; the gap
   /// total() - total_overlapped() is the most overlap could ever recover.
   double total_overlapped() const { return std::max(compute, comm()); }
+
+  /// Critical path of a chunked-pipelining schedule with `stages` stages
+  /// (the "1d-overlap" strategy): communication of chunk k+1 proceeds
+  /// while chunk k computes, so a two-stage software pipeline over
+  /// `stages` equal chunks has makespan
+  ///
+  ///   max(comm, compute) + min(comm, compute) / stages
+  ///
+  /// which interpolates exactly between the bulk-synchronous total()
+  /// (stages = 1) and the ideal total_overlapped() bound (stages -> inf):
+  /// total_overlapped() <= total_pipelined(s) <= total(), monotonically
+  /// non-increasing in s. Note this is the schedule bound for the traffic
+  /// ALREADY recorded — a chunked run pays extra per-message latency in
+  /// comm() itself, which is how the chunk-count sweet spot arises.
+  ///
+  /// Like total_overlapped(), this treats ALL of comm() as overlappable.
+  /// For a schedule that only chunks the alltoall (e.g. "1d-overlap" with
+  /// serialized gradient all-reduces), it is an optimistic bound whenever
+  /// non-alltoall communication is a significant share of comm().
+  double total_pipelined(int stages) const {
+    const double s = static_cast<double>(std::max(1, stages));
+    return std::max(compute, comm()) + std::min(compute, comm()) / s;
+  }
 };
 
-/// Assemble an EpochCost from a recorder: the named phases map onto the
-/// breakdown buckets; "sync" is excluded (barriers are free in the paper's
-/// model); any remaining phases land in `other`.
+/// Assemble an EpochCost from a recorder: phases map onto the breakdown
+/// buckets by their base name, so the stages of a chunk-tagged phase
+/// ("alltoall#k") accumulate into their base bucket, each stage charged at
+/// its own bottleneck rank (stages are synchronization points of the
+/// pipelined schedule). "sync" is excluded (barriers are free in the
+/// paper's model), as is any phase whose base name appears in
+/// `exclude_bases`; remaining phases land in `other`.
 EpochCost epoch_cost(const CostModel& model, const TrafficRecorder& traffic,
-                     const std::vector<double>& per_rank_cpu_seconds);
+                     const std::vector<double>& per_rank_cpu_seconds,
+                     const std::vector<std::string>& exclude_bases = {});
 
 }  // namespace sagnn

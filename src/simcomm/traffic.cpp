@@ -104,6 +104,37 @@ PhaseTraffic TrafficRecorder::total(const std::vector<std::string>& exclude) con
   return acc;
 }
 
+std::string TrafficRecorder::stage_phase(const std::string& base, int stage) {
+  return base + "#" + std::to_string(stage);
+}
+
+std::string TrafficRecorder::base_name(const std::string& phase) {
+  const std::size_t hash = phase.rfind('#');
+  return hash == std::string::npos ? phase : phase.substr(0, hash);
+}
+
+int TrafficRecorder::stage_count(const std::string& base) const {
+  std::lock_guard lock(mutex_);
+  int count = 0;
+  for (const auto& [name, tr] : phases_) {
+    if (base_name(name) == base) ++count;
+  }
+  return count;
+}
+
+PhaseTraffic TrafficRecorder::phase_total(const std::string& base) const {
+  std::lock_guard lock(mutex_);
+  PhaseTraffic acc(p_);
+  for (const auto& [name, tr] : phases_) {
+    if (base_name(name) != base) continue;
+    for (std::size_t i = 0; i < acc.bytes.size(); ++i) {
+      acc.bytes[i] += tr.bytes[i];
+      acc.msgs[i] += tr.msgs[i];
+    }
+  }
+  return acc;
+}
+
 std::vector<std::string> TrafficRecorder::phase_names() const {
   std::lock_guard lock(mutex_);
   std::vector<std::string> names;

@@ -6,6 +6,12 @@
 // collectives are built from point-to-point sends exactly like NCCL builds
 // them, the recorded per-pair traffic is the real communication volume of
 // the algorithm — the quantity the paper's evaluation is about.
+//
+// Pipelined schedules tag a phase with the stage (chunk) index it belongs
+// to: stage k of base phase "alltoall" is recorded under "alltoall#k"
+// (see stage_phase()). Consumers that care about the schedule read the
+// stages individually; consumers that only care about volume aggregate by
+// base_name() (phase_total(), stage_count()).
 
 #include <cstdint>
 #include <map>
@@ -60,6 +66,20 @@ class TrafficRecorder {
   /// Sum over all phases except those listed in `exclude`.
   PhaseTraffic total(const std::vector<std::string>& exclude = {}) const;
   std::vector<std::string> phase_names() const;
+
+  /// Phase name of pipeline stage `stage` of `base` ("alltoall" + 2 ->
+  /// "alltoall#2"). Stage tags compose with every accessor above: record()
+  /// under the tagged name, read stages individually via phase().
+  static std::string stage_phase(const std::string& base, int stage);
+  /// The base phase of a possibly stage-tagged name ("alltoall#2" ->
+  /// "alltoall"; untagged names pass through).
+  static std::string base_name(const std::string& phase);
+  /// Number of distinct recorded stages of `base` (an untagged recording
+  /// counts as one stage; 0 if the base phase never occurred).
+  int stage_count(const std::string& base) const;
+  /// Sum of all recorded stages of `base` (equals phase(base) for untagged
+  /// phases).
+  PhaseTraffic phase_total(const std::string& base) const;
 
   void reset();
   int p() const { return p_; }

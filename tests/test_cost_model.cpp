@@ -107,6 +107,56 @@ TEST(CostModel, OverlappedTotalIsMaxOfSides) {
   EXPECT_DOUBLE_EQ(c.total_overlapped(), 13.0);
 }
 
+TEST(CostModel, PipelinedTotalInterpolatesBetweenBulkAndOverlap) {
+  EpochCost c;
+  c.compute = 6;
+  c.alltoall = 4;
+  // stages = 1 is exactly the bulk-synchronous schedule.
+  EXPECT_DOUBLE_EQ(c.total_pipelined(1), c.total());
+  // Monotone non-increasing in stages, never below the overlap bound.
+  double prev = c.total_pipelined(1);
+  for (int s : {2, 3, 4, 8, 64, 4096}) {
+    const double t = c.total_pipelined(s);
+    EXPECT_LE(t, prev) << s;
+    EXPECT_GE(t, c.total_overlapped()) << s;
+    prev = t;
+  }
+  // Closed form: max + min / stages.
+  EXPECT_DOUBLE_EQ(c.total_pipelined(2), 6.0 + 4.0 / 2.0);
+  // stages -> inf converges to the idealized full overlap.
+  EXPECT_NEAR(c.total_pipelined(1 << 24), c.total_overlapped(), 1e-6);
+  // Degenerate stage counts clamp to the bulk-synchronous schedule.
+  EXPECT_DOUBLE_EQ(c.total_pipelined(0), c.total());
+  EXPECT_DOUBLE_EQ(c.total_pipelined(-3), c.total());
+  // Communication-bound epochs pipeline the compute side instead.
+  c.allreduce = 20;
+  EXPECT_DOUBLE_EQ(c.total_pipelined(4), 24.0 + 6.0 / 4.0);
+}
+
+TEST(CostModel, EpochCostAggregatesChunkTaggedStages) {
+  const CostModel m = simple_model();
+  TrafficRecorder rec(2);
+  rec.record("alltoall#0", 0, 1, 10);  // stage 0 bottleneck: 1 + 5 = 6
+  rec.record("alltoall#1", 0, 1, 4);   // stage 1 bottleneck: 1 + 2 = 3
+  rec.record("bcast#0", 1, 0, 2);      // tagged bcast: 1 + 1 = 2
+  const EpochCost cost = epoch_cost(m, rec, {0.0, 0.0});
+  // Stages are synchronization points: their bottleneck costs add into the
+  // base bucket instead of landing in `other`.
+  EXPECT_DOUBLE_EQ(cost.alltoall, 9.0);
+  EXPECT_DOUBLE_EQ(cost.bcast, 2.0);
+  EXPECT_DOUBLE_EQ(cost.other, 0.0);
+}
+
+TEST(CostModel, EpochCostExcludesListedBasesExactly) {
+  const CostModel m = simple_model();
+  TrafficRecorder rec(2);
+  rec.record("index_exchange", 0, 1, 123456);
+  rec.record("weird", 0, 1, 2);  // other: 1 + 1 = 2
+  const EpochCost cost = epoch_cost(m, rec, {0.0, 0.0}, {"index_exchange"});
+  EXPECT_DOUBLE_EQ(cost.other, 2.0);
+  EXPECT_DOUBLE_EQ(cost.comm(), 2.0);
+}
+
 TEST(CostModel, VolumeScaleMultipliesBytesNotLatency) {
   CostModel m = simple_model();
   m.volume_scale = 10.0;

@@ -187,6 +187,105 @@ TEST(Spmm1d, WorksOnDisconnectedGraph) {
   EXPECT_EQ(traffic.phase("alltoall").total_bytes(), 0u);
 }
 
+Matrix run_dist_1d_pipelined(const CsrMatrix& a, const Matrix& h, int p,
+                             int chunks, TrafficRecorder* traffic_out = nullptr) {
+  const auto ranges = uniform_block_ranges(a.n_rows(), p);
+  Matrix result(a.n_rows(), h.n_cols());
+  Cluster cluster(p);
+  cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, SpmmMode::kSparsityAware);
+    const BlockRange r = spmm_dist.my_range();
+    const Matrix z_local =
+        spmm_dist.multiply_pipelined(comm, h.slice_rows(r.begin, r.end), chunks);
+    for (vid_t i = 0; i < z_local.n_rows(); ++i) {
+      std::copy(z_local.row(i), z_local.row(i) + z_local.n_cols(),
+                result.row(r.begin + i));
+    }
+  });
+  if (traffic_out != nullptr) *traffic_out = cluster.traffic();
+  return result;
+}
+
+TEST(Spmm1dPipelined, MatchesBulkMultiplyBitwise) {
+  // Column chunking never reorders any output element's accumulation, so
+  // the pipelined product is bit-identical to the bulk sparsity-aware one
+  // for every chunk count — including counts above the feature width.
+  Rng rng(21);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(64, 400, rng));
+  const Matrix h = Matrix::random_uniform(64, 8, rng);
+  const Matrix bulk = run_dist_1d(a, h, 4, SpmmMode::kSparsityAware);
+  for (int chunks : {1, 2, 3, 8, 100}) {
+    const Matrix pipelined = run_dist_1d_pipelined(a, h, 4, chunks);
+    EXPECT_EQ(pipelined.max_abs_diff(bulk), 0.0) << "chunks " << chunks;
+  }
+}
+
+TEST(Spmm1dPipelined, StageTaggedTrafficMatchesBulkBytes) {
+  Rng rng(22);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(96, 700, rng));
+  const Matrix h = Matrix::random_uniform(96, 9, rng);
+  const int p = 4;
+  const int chunks = 3;
+  TrafficRecorder bulk(1), pipe(1);
+  run_dist_1d(a, h, p, SpmmMode::kSparsityAware, &bulk);
+  run_dist_1d_pipelined(a, h, p, chunks, &pipe);
+
+  // One tagged stage per chunk; bytes sum to the bulk alltoall exactly
+  // (same rows requested, columns partitioned), messages go up K-fold.
+  EXPECT_EQ(pipe.stage_count("alltoall"), chunks);
+  EXPECT_EQ(pipe.phase_total("alltoall").total_bytes(),
+            bulk.phase("alltoall").total_bytes());
+  EXPECT_EQ(pipe.phase_total("alltoall").total_msgs(),
+            static_cast<std::uint64_t>(chunks) *
+                bulk.phase("alltoall").total_msgs());
+  // No stage is empty: 9 columns over 3 chunks moves bytes in every stage.
+  for (int k = 0; k < chunks; ++k) {
+    EXPECT_GT(pipe.phase(TrafficRecorder::stage_phase("alltoall", k))
+                  .total_bytes(),
+              0u)
+        << "stage " << k;
+  }
+}
+
+TEST(Spmm1dPipelined, HandlesEmptyBlocksAndRepeatedMultiplies) {
+  Rng rng(23);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(30, 150, rng));
+  const std::vector<vid_t> sizes{10, 0, 20};
+  const auto ranges = ranges_from_sizes(sizes);
+  const Matrix h = Matrix::random_uniform(30, 5, rng);
+  Matrix expected = h;
+  for (int iter = 0; iter < 3; ++iter) expected = spmm(a, expected);
+
+  Matrix result(30, 5);
+  Cluster cluster(3);
+  cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, SpmmMode::kSparsityAware);
+    const BlockRange r = spmm_dist.my_range();
+    Matrix h_local = h.slice_rows(r.begin, r.end);
+    for (int iter = 0; iter < 3; ++iter) {
+      h_local = spmm_dist.multiply_pipelined(comm, h_local, 2);
+    }
+    for (vid_t i = 0; i < h_local.n_rows(); ++i) {
+      std::copy(h_local.row(i), h_local.row(i) + 5, result.row(r.begin + i));
+    }
+  });
+  EXPECT_LT(result.max_abs_diff(expected), 1e-3);
+}
+
+TEST(Spmm1dPipelined, RejectsObliviousMode) {
+  Rng rng(24);
+  const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(16, 60, rng));
+  const auto ranges = uniform_block_ranges(16, 2);
+  const Matrix h = Matrix::random_uniform(16, 4, rng);
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+    DistSpmm1d spmm_dist(comm, a, ranges, SpmmMode::kOblivious);
+    const BlockRange r = spmm_dist.my_range();
+    (void)spmm_dist.multiply_pipelined(comm, h.slice_rows(r.begin, r.end), 2);
+  }),
+               Error);
+}
+
 TEST(Spmm1d, ComputeSecondsAccumulate) {
   Rng rng(12);
   const CsrMatrix a = CsrMatrix::from_coo(erdos_renyi(64, 800, rng));

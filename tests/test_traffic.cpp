@@ -77,6 +77,37 @@ TEST(Traffic, PhaseNamesAndReset) {
   EXPECT_EQ(rec.phase("a").total_bytes(), 0u);
 }
 
+TEST(Traffic, StagePhaseNamesRoundTrip) {
+  EXPECT_EQ(TrafficRecorder::stage_phase("alltoall", 3), "alltoall#3");
+  EXPECT_EQ(TrafficRecorder::base_name("alltoall#3"), "alltoall");
+  EXPECT_EQ(TrafficRecorder::base_name("alltoall"), "alltoall");
+  EXPECT_EQ(TrafficRecorder::base_name("index_exchange"), "index_exchange");
+}
+
+TEST(Traffic, ChunkTagsAggregateByBaseName) {
+  TrafficRecorder rec(2);
+  rec.record(TrafficRecorder::stage_phase("alltoall", 0), 0, 1, 10);
+  rec.record(TrafficRecorder::stage_phase("alltoall", 1), 0, 1, 20);
+  rec.record(TrafficRecorder::stage_phase("alltoall", 1), 1, 0, 5);
+  rec.record("bcast", 0, 1, 7);
+
+  EXPECT_EQ(rec.stage_count("alltoall"), 2);
+  EXPECT_EQ(rec.stage_count("bcast"), 1);  // untagged = one stage
+  EXPECT_EQ(rec.stage_count("nope"), 0);
+
+  const PhaseTraffic total = rec.phase_total("alltoall");
+  EXPECT_EQ(total.total_bytes(), 35u);
+  EXPECT_EQ(total.total_msgs(), 3u);
+  EXPECT_EQ(total.bytes_between(0, 1), 30u);
+
+  // Individual stages stay separately addressable, and untagged phases
+  // read the same through phase() and phase_total().
+  EXPECT_EQ(rec.phase("alltoall#0").total_bytes(), 10u);
+  EXPECT_EQ(rec.phase("alltoall#1").total_bytes(), 25u);
+  EXPECT_EQ(rec.phase("alltoall").total_bytes(), 0u);  // no untagged traffic
+  EXPECT_EQ(rec.phase_total("bcast").total_bytes(), 7u);
+}
+
 TEST(Traffic, CopyIsSnapshot) {
   TrafficRecorder rec(2);
   rec.record("a", 0, 1, 5);

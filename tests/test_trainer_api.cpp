@@ -25,8 +25,9 @@ GcnConfig tiny_config(const Dataset& ds, int epochs = 3) {
 
 TEST(StrategyRegistry, ListsAllPaperAlgorithms) {
   const auto names = strategy_registry().names();
-  for (const char* expected : {"1d-oblivious", "1d-sparse", "1.5d-oblivious",
-                               "1.5d-sparse", "2d-oblivious", "2d-sparse"}) {
+  for (const char* expected :
+       {"1d-oblivious", "1d-sparse", "1d-overlap", "1.5d-oblivious",
+        "1.5d-sparse", "2d-oblivious", "2d-sparse"}) {
     EXPECT_TRUE(strategy_registry().contains(expected)) << expected;
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
@@ -167,6 +168,65 @@ TEST(DistributedTrainer, ResultAfterPartialRunAveragesRunEpochs) {
   EXPECT_GT(partial.phase_volumes.at("alltoall").megabytes_per_epoch, 0.0);
 }
 
+TEST(DistributedTrainer, PartialSteppingReportsCompletedEpochs) {
+  // Regression: a run configured for 10 epochs but stopped after 3 via
+  // run_epoch() stepping must report the COMPLETED count everywhere —
+  // trajectory length, epochs_completed, and every per-epoch average. An
+  // identically-configured 3-epoch whole run is the ground truth: traffic
+  // is deterministic, so the per-epoch volumes must match to the bit.
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  auto stepped = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(4)
+                     .partitioner("gvb")
+                     .gcn(tiny_config(ds, 10))
+                     .build();
+  for (int e = 0; e < 3; ++e) (void)stepped->run_epoch();
+  const TrainResult& partial = stepped->result();
+  EXPECT_EQ(partial.epochs_completed(), 3);
+  ASSERT_EQ(partial.epochs.size(), 3u);
+
+  auto whole = TrainerBuilder(ds)
+                   .strategy("1d-sparse")
+                   .ranks(4)
+                   .partitioner("gvb")
+                   .gcn(tiny_config(ds, 3))
+                   .build();
+  whole->train();
+  const TrainResult& full = whole->result();
+  EXPECT_EQ(full.epochs_completed(), 3);
+  ASSERT_EQ(partial.phase_volumes.size(), full.phase_volumes.size());
+  for (const auto& [phase, vol] : full.phase_volumes) {
+    ASSERT_TRUE(partial.phase_volumes.count(phase)) << phase;
+    EXPECT_DOUBLE_EQ(partial.phase_volumes.at(phase).megabytes_per_epoch,
+                     vol.megabytes_per_epoch)
+        << phase;
+    EXPECT_DOUBLE_EQ(partial.phase_volumes.at(phase).messages_per_epoch,
+                     vol.messages_per_epoch)
+        << phase;
+  }
+}
+
+TEST(Trainer, EveryModeReportsCompletedEpochCount) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const GcnConfig cfg = tiny_config(ds, 4);
+  SamplingConfig sampling;
+  sampling.fanouts.assign(static_cast<std::size_t>(cfg.n_layers()), 5);
+
+  std::vector<std::unique_ptr<Trainer>> trainers;
+  trainers.push_back(TrainerBuilder(ds).strategy("serial").gcn(cfg).build());
+  trainers.push_back(
+      TrainerBuilder(ds).strategy("sampled").sampling(sampling).gcn(cfg).build());
+  trainers.push_back(
+      TrainerBuilder(ds).strategy("1d-sparse").ranks(4).gcn(cfg).build());
+  for (auto& trainer : trainers) {
+    (void)trainer->run_epoch();
+    EXPECT_EQ(trainer->result().epochs_completed(), 1) << trainer->name();
+    trainer->train();
+    EXPECT_EQ(trainer->result().epochs_completed(), 4) << trainer->name();
+  }
+}
+
 TEST(DistAlgoShim, ToTrainConfigMapsEveryField) {
   DistTrainerOptions opt;
   opt.algo = DistAlgo::k15dSparse;
@@ -185,6 +245,41 @@ TEST(DistAlgoShim, ToTrainConfigMapsEveryField) {
 TEST(PartitionerRegistryApi, NamesAreTheSupportedVocabulary) {
   const auto names = partitioner_registry().names();
   EXPECT_EQ(names, (std::vector<std::string>{"block", "gvb", "metis", "random"}));
+}
+
+TEST(PartitionerRegistryApi, UnknownNameListsRegisteredPartitioners) {
+  // Error-path parity with the strategy registry: std::invalid_argument
+  // whose message names the offender and every registered choice — via the
+  // registry directly and via the make_partitioner() wrapper.
+  for (auto create : {+[] { (void)partitioner_registry().create(
+                          "zoltan", PartitionerOptions{}); },
+                      +[] { (void)make_partitioner("zoltan"); }}) {
+    try {
+      create();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("zoltan"), std::string::npos);
+      for (const auto& name : partitioner_registry().names()) {
+        EXPECT_NE(what.find(name), std::string::npos) << name;
+      }
+    }
+  }
+}
+
+TEST(StrategyRegistry, UnknownNameListsEveryRegisteredStrategy) {
+  // The full-vocabulary counterpart of UnknownNameListsRegisteredStrategies:
+  // late-added strategies (e.g. "1d-overlap") must appear too.
+  try {
+    strategy_registry().create("bogus-strategy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus-strategy"), std::string::npos);
+    for (const auto& name : strategy_registry().names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
 }
 
 }  // namespace
