@@ -7,6 +7,7 @@ TrainConfig ExperimentSpec::to_train_config(const Dataset& dataset) const {
   cfg.gcn = gcn;  // empty dims stay empty; TrainerBuilder derives them
   cfg.gcn.epochs = epochs;
   cfg.strategy = strategy;
+  cfg.threads = threads;
   cfg.p = p;
   cfg.c = c;
   cfg.partitioner = partitioner;

@@ -18,6 +18,8 @@ struct ExperimentSpec {
   int p = 4;
   int c = 1;
   int epochs = 2;
+  /// Host thread-pool size (TrainConfig::threads; 0 = leave as-is).
+  int threads = 0;
   /// Column chunks for pipelined strategies ("1d-overlap").
   int pipeline_chunks = 4;
   /// Layer widths etc.; dims are auto-derived from the dataset when empty.

@@ -1,16 +1,22 @@
 #include "dense/gemm.hpp"
 
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
 namespace sagnn {
 
-void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
-  SAGNN_REQUIRE(a.n_cols() == b.n_rows(), "GEMM: inner dimensions must agree");
-  SAGNN_REQUIRE(c.n_rows() == a.n_rows() && c.n_cols() == b.n_cols(),
-                "GEMM: C shape mismatch");
-  const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_cols();
-  for (vid_t i = 0; i < m; ++i) {
+namespace {
+
+/// C rows [row_begin, row_end) of C += A * B, ikj order: streams through B
+/// rows, C row stays hot. Per-element accumulation order is p ascending —
+/// the order the reference kernel uses.
+inline void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                      vid_t row_begin, vid_t row_end) {
+  const vid_t n = a.n_cols(), k = b.n_cols();
+  for (vid_t i = row_begin; i < row_end; ++i) {
     const real_t* ai = a.row(i);
     real_t* ci = c.row(i);
-    // ikj order: streams through B rows, C row stays hot.
     for (vid_t p = 0; p < n; ++p) {
       const real_t aip = ai[p];
       const real_t* bp = b.row(p);
@@ -19,13 +25,39 @@ void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
+// Tile edges for the strided kernels: C tiles stay register/L1-resident
+// while the long m dimension streams past.
+constexpr vid_t kTileP = 48;
+constexpr vid_t kTileJ = 64;
+
+}  // namespace
+
+void gemm_accumulate_reference(const Matrix& a, const Matrix& b, Matrix& c) {
+  SAGNN_REQUIRE(a.n_cols() == b.n_rows(), "GEMM: inner dimensions must agree");
+  SAGNN_REQUIRE(c.n_rows() == a.n_rows() && c.n_cols() == b.n_cols(),
+                "GEMM: C shape mismatch");
+  gemm_rows(a, b, c, 0, a.n_rows());
+}
+
+void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  SAGNN_REQUIRE(a.n_cols() == b.n_rows(), "GEMM: inner dimensions must agree");
+  SAGNN_REQUIRE(c.n_rows() == a.n_rows() && c.n_cols() == b.n_cols(),
+                "GEMM: C shape mismatch");
+  const vid_t m = a.n_rows();
+  // Tasks own disjoint row blocks of C; within a row nothing is reordered,
+  // so this is bitwise identical to the reference at any thread count.
+  parallel_for(0, m, parallel_grain(m), [&](std::int64_t rb, std::int64_t re) {
+    gemm_rows(a, b, c, static_cast<vid_t>(rb), static_cast<vid_t>(re));
+  });
+}
+
 Matrix gemm(const Matrix& a, const Matrix& b) {
   Matrix c(a.n_rows(), b.n_cols());
   gemm_accumulate(a, b, c);
   return c;
 }
 
-Matrix gemm_at_b(const Matrix& a, const Matrix& b) {
+Matrix gemm_at_b_reference(const Matrix& a, const Matrix& b) {
   SAGNN_REQUIRE(a.n_rows() == b.n_rows(), "A^T B: row counts must agree");
   const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_cols();
   Matrix c(n, k);
@@ -41,7 +73,38 @@ Matrix gemm_at_b(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix gemm_a_bt(const Matrix& a, const Matrix& b) {
+Matrix gemm_at_b(const Matrix& a, const Matrix& b) {
+  SAGNN_REQUIRE(a.n_rows() == b.n_rows(), "A^T B: row counts must agree");
+  const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_cols();
+  Matrix c(n, k);
+  // C = A^T B accumulates over the long m dimension; that order must stay
+  // i-ascending per C element (bitwise parity with the reference), so the
+  // kernel tiles and parallelizes over C itself: each (p, j) tile of C is
+  // owned by one task that streams the m dimension once. The tile of C
+  // stays cache-hot while A's column slice and B's column slice are read
+  // with the same stride the reference pays.
+  const std::int64_t tp = ceil_div(n, kTileP), tj = ceil_div(k, kTileJ);
+  parallel_for(0, tp * tj, 1, [&](std::int64_t tb, std::int64_t te) {
+    for (std::int64_t t = tb; t < te; ++t) {
+      const vid_t p0 = static_cast<vid_t>(t / tj) * kTileP;
+      const vid_t j0 = static_cast<vid_t>(t % tj) * kTileJ;
+      const vid_t p1 = std::min<vid_t>(p0 + kTileP, n);
+      const vid_t j1 = std::min<vid_t>(j0 + kTileJ, k);
+      for (vid_t i = 0; i < m; ++i) {
+        const real_t* ai = a.row(i);
+        const real_t* bi = b.row(i);
+        for (vid_t p = p0; p < p1; ++p) {
+          const real_t aip = ai[p];
+          real_t* cp = c.row(p);
+          for (vid_t j = j0; j < j1; ++j) cp[j] += aip * bi[j];
+        }
+      }
+    }
+  });
+  return c;
+}
+
+Matrix gemm_a_bt_reference(const Matrix& a, const Matrix& b) {
   SAGNN_REQUIRE(a.n_cols() == b.n_cols(), "A B^T: col counts must agree");
   const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_rows();
   Matrix c(m, k);
@@ -55,6 +118,32 @@ Matrix gemm_a_bt(const Matrix& a, const Matrix& b) {
       ci[j] = acc;
     }
   }
+  return c;
+}
+
+Matrix gemm_a_bt(const Matrix& a, const Matrix& b) {
+  SAGNN_REQUIRE(a.n_cols() == b.n_cols(), "A B^T: col counts must agree");
+  const vid_t m = a.n_rows(), n = a.n_cols(), k = b.n_rows();
+  Matrix c(m, k);
+  // Row blocks of C parallelize over the long m dimension; the j tile keeps
+  // a block of B rows hot across the whole row block instead of cycling the
+  // full B through cache once per output row. Each dot product still runs
+  // p-ascending into a single accumulator — bitwise parity preserved.
+  parallel_for(0, m, parallel_grain(m), [&](std::int64_t rb, std::int64_t re) {
+    for (vid_t j0 = 0; j0 < k; j0 += kTileJ) {
+      const vid_t j1 = std::min<vid_t>(j0 + kTileJ, k);
+      for (vid_t i = static_cast<vid_t>(rb); i < static_cast<vid_t>(re); ++i) {
+        const real_t* ai = a.row(i);
+        real_t* ci = c.row(i);
+        for (vid_t j = j0; j < j1; ++j) {
+          const real_t* bj = b.row(j);
+          real_t acc = 0;
+          for (vid_t p = 0; p < n; ++p) acc += ai[p] * bj[p];
+          ci[j] = acc;
+        }
+      }
+    }
+  });
   return c;
 }
 

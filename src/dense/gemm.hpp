@@ -1,7 +1,14 @@
 #pragma once
 // Small dense GEMM kernels. GCN multiplies tall-skinny activations by small
-// f x f weight matrices, so a straightforward register-blocked loop nest is
-// adequate; no external BLAS dependency.
+// f x f weight matrices, so a register-blocked loop nest is adequate; no
+// external BLAS dependency.
+//
+// The production kernels run on the shared thread pool
+// (common/parallel.hpp) and cache-block the strided-access cases
+// (gemm_at_b, gemm_a_bt). Parallel tasks own disjoint tiles of C and every
+// C element accumulates its products in the same index order as the
+// reference loops, so all kernels are bitwise identical to their
+// *_reference twins at every thread count.
 
 #include "dense/matrix.hpp"
 
@@ -19,5 +26,11 @@ Matrix gemm_at_b(const Matrix& a, const Matrix& b);
 
 /// C = A * B^T  (B is k x n -> C is m x k). Used for G W^T in backprop.
 Matrix gemm_a_bt(const Matrix& a, const Matrix& b);
+
+/// Single-thread, untiled ground-truth twins, kept for the bitwise-parity
+/// tests of the blocked kernels.
+void gemm_accumulate_reference(const Matrix& a, const Matrix& b, Matrix& c);
+Matrix gemm_at_b_reference(const Matrix& a, const Matrix& b);
+Matrix gemm_a_bt_reference(const Matrix& a, const Matrix& b);
 
 }  // namespace sagnn

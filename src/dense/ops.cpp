@@ -48,7 +48,7 @@ void axpy_inplace(Matrix& a, const Matrix& b, real_t scale) {
                 "axpy shape mismatch");
   real_t* ad = a.data();
   const real_t* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] -= scale * bd[i];
+  for (std::size_t i = 0; i < a.size(); ++i) ad[i] += scale * bd[i];
 }
 
 Matrix row_softmax(const Matrix& z) {

@@ -21,7 +21,9 @@ void hadamard_inplace(Matrix& c, const Matrix& b);
 /// A += B.
 void add_inplace(Matrix& a, const Matrix& b);
 
-/// A -= scale * B (SGD update step primitive).
+/// A += scale * B — the conventional BLAS axpy. SGD steps pass a negative
+/// scale (e.g. -lr); the historical subtracting behavior of this function
+/// is gone, flipped at every call site.
 void axpy_inplace(Matrix& a, const Matrix& b, real_t scale);
 
 /// Row-wise softmax with the max-subtraction trick for stability.

@@ -26,9 +26,11 @@ void GcnLayer::apply_gradient(const Matrix& d_weights, real_t lr,
   if (weight_decay != 0.0f) {
     // W -= lr*wd*W first, then the gradient term; order matches the usual
     // decoupled-from-nothing classic L2 formulation up to O(lr^2).
-    axpy_inplace(w_, w_, lr * weight_decay);
+    // (IEEE a + (-s)*b == a - s*b bitwise, so flipping axpy_inplace to the
+    // conventional sign kept training math bit-identical.)
+    axpy_inplace(w_, w_, -lr * weight_decay);
   }
-  axpy_inplace(w_, d_weights, lr);
+  axpy_inplace(w_, d_weights, -lr);
 }
 
 }  // namespace sagnn

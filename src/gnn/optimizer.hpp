@@ -15,7 +15,7 @@ class Sgd {
  public:
   explicit Sgd(real_t lr) : lr_(lr) {}
   real_t lr() const { return lr_; }
-  void step(Matrix& w, const Matrix& grad) { axpy_inplace(w, grad, lr_); }
+  void step(Matrix& w, const Matrix& grad) { axpy_inplace(w, grad, -lr_); }
 
  private:
   real_t lr_;

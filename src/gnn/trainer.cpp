@@ -1,5 +1,6 @@
 #include "gnn/trainer.hpp"
 
+#include "common/parallel.hpp"
 #include "gnn/distributed_trainer.hpp"
 #include "gnn/sampled_trainer.hpp"
 #include "gnn/serial_trainer.hpp"
@@ -10,6 +11,7 @@ namespace sagnn {
 std::unique_ptr<Trainer> TrainerBuilder::build() const {
   TrainConfig cfg = config_;
   const Dataset& ds = *dataset_;
+  if (cfg.threads >= 1) set_parallel_threads(cfg.threads);
   if (cfg.gcn.dims.empty()) {
     // The paper's default architecture: 3 layers, 16 hidden units.
     cfg.gcn.dims = {ds.n_features(), 16, 16, ds.n_classes};

@@ -132,6 +132,13 @@ struct TrainConfig {
   /// (e.g. "1d-sparse", "1.5d-oblivious", "2d-sparse").
   std::string strategy = "serial";
 
+  /// Host thread-pool size for partitioning and the blocked kernels
+  /// (common/parallel.hpp). 0 keeps the current pool (SAGNN_THREADS env,
+  /// else hardware concurrency); >= 1 pins it. Never affects training
+  /// math: kernels are bitwise thread-count-invariant and simulated rank
+  /// threads always compute serially.
+  int threads = 0;
+
   // --- distributed-mode options ---
   int p = 4;  ///< simulated GPU count
   int c = 1;  ///< replication factor (1.5D strategies)
@@ -169,6 +176,11 @@ class TrainerBuilder {
   TrainerBuilder& ranks(int p, int c = 1) {
     config_.p = p;
     config_.c = c;
+    return *this;
+  }
+  /// Host thread-pool size (see TrainConfig::threads; 0 = leave as-is).
+  TrainerBuilder& threads(int n) {
+    config_.threads = n;
     return *this;
   }
   TrainerBuilder& partitioner(std::string name, PartitionerOptions opts = {}) {

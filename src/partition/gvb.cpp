@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.hpp"
 #include "partition/partition.hpp"
 #include "partition/partitioner_registry.hpp"
 #include "partition/refine_detail.hpp"
@@ -31,13 +32,18 @@ class NeighborPartCounts {
  public:
   void build(const PGraph& g, const std::vector<vid_t>& part) {
     counts_.assign(static_cast<std::size_t>(g.n), {});
-    for (vid_t v = 0; v < g.n; ++v) {
-      auto& c = counts_[static_cast<std::size_t>(v)];
-      for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
-           e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
-        bump(c, part[static_cast<std::size_t>(g.adjncy[static_cast<std::size_t>(e)])], 1);
+    // Each vertex owns its own counter vector — the scan parallelizes over
+    // disjoint slots (identical result at every thread count).
+    parallel_for(0, g.n, parallel_grain(g.n), [&](std::int64_t lo, std::int64_t hi) {
+      for (vid_t v = static_cast<vid_t>(lo); v < static_cast<vid_t>(hi); ++v) {
+        auto& c = counts_[static_cast<std::size_t>(v)];
+        for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
+             e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+          const auto u = static_cast<std::size_t>(g.adjncy[static_cast<std::size_t>(e)]);
+          bump(c, part[u], 1);
+        }
       }
-    }
+    });
   }
 
   /// Number of distinct neighbor parts excluding `excl`.
@@ -98,18 +104,41 @@ class VolumeRefiner {
   VolumeRefiner(const PGraph& g, int k, double eps, std::vector<vid_t>& part)
       : g_(g), k_(k), part_(part) {
     counts_.build(g, part);
-    pw_.assign(static_cast<std::size_t>(k), 0);
-    send_vol_.assign(static_cast<std::size_t>(k), 0);
-    recv_vol_.assign(static_cast<std::size_t>(k), 0);
-    for (vid_t v = 0; v < g.n; ++v) {
-      const vid_t a = part[static_cast<std::size_t>(v)];
-      pw_[static_cast<std::size_t>(a)] += g.vwgt[static_cast<std::size_t>(v)];
-      send_vol_[static_cast<std::size_t>(a)] += counts_.distinct_excluding(v, a);
-      // v's H row is received once by each distinct neighbor part != a.
-      for (vid_t d : counts_.parts_of(v)) {
-        if (d != a) recv_vol_[static_cast<std::size_t>(d)] += 1;
-      }
-    }
+    // Initial per-part weight/volume totals: private per-chunk accumulators
+    // merged with exact integer sums — thread-count invariant.
+    struct Vols {
+      std::vector<std::int64_t> pw, send, recv;
+    };
+    const std::size_t ks = static_cast<std::size_t>(k);
+    Vols vols = parallel_reduce(
+        0, g.n, parallel_grain(g.n),
+        Vols{std::vector<std::int64_t>(ks, 0), std::vector<std::int64_t>(ks, 0),
+             std::vector<std::int64_t>(ks, 0)},
+        [&](std::int64_t lo, std::int64_t hi) {
+          Vols acc{std::vector<std::int64_t>(ks, 0), std::vector<std::int64_t>(ks, 0),
+                   std::vector<std::int64_t>(ks, 0)};
+          for (vid_t v = static_cast<vid_t>(lo); v < static_cast<vid_t>(hi); ++v) {
+            const vid_t a = part[static_cast<std::size_t>(v)];
+            acc.pw[static_cast<std::size_t>(a)] += g.vwgt[static_cast<std::size_t>(v)];
+            acc.send[static_cast<std::size_t>(a)] += counts_.distinct_excluding(v, a);
+            // v's H row is received once by each distinct neighbor part != a.
+            for (vid_t d : counts_.parts_of(v)) {
+              if (d != a) acc.recv[static_cast<std::size_t>(d)] += 1;
+            }
+          }
+          return acc;
+        },
+        [ks](Vols x, const Vols& y) {
+          for (std::size_t p = 0; p < ks; ++p) {
+            x.pw[p] += y.pw[p];
+            x.send[p] += y.send[p];
+            x.recv[p] += y.recv[p];
+          }
+          return x;
+        });
+    pw_ = std::move(vols.pw);
+    send_vol_ = std::move(vols.send);
+    recv_vol_ = std::move(vols.recv);
     max_allowed_ = (1.0 + eps) * static_cast<double>(g.total_vwgt) / k;
   }
 

@@ -6,11 +6,20 @@
 // Matches the role METIS plays in the paper: minimizes *total* edgecut with
 // a computational-balance constraint, and is oblivious to per-part maximum
 // communication volume — the blind spot GvbPartitioner fixes.
+//
+// The coarsening and scan phases run on the shared thread pool
+// (common/parallel.hpp). Determinism contract: for a fixed seed the
+// partition is identical at EVERY thread count — matching is
+// round-synchronous propose–accept with hash-derived edge tie-breaks (no
+// sequential visit order), contraction tasks own disjoint coarse rows, and
+// the refinement move loop stays sequential over a boundary set that is
+// computed in parallel but ordered by vertex id.
 
 #include <algorithm>
 #include <deque>
 #include <numeric>
 
+#include "common/parallel.hpp"
 #include "partition/partition.hpp"
 #include "partition/partitioner_registry.hpp"
 #include "partition/refine_detail.hpp"
@@ -19,116 +28,198 @@ namespace sagnn {
 
 namespace partition_detail {
 
+namespace {
+
+/// SplitMix64 finalizer: the per-edge tie-break hash of the matching. A
+/// pure function of (seed, endpoint pair), so every thread layout sees the
+/// same total order on edges.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t edge_hash(std::uint64_t seed, vid_t a, vid_t b) {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  return mix64(seed ^ (lo * 0x9e3779b97f4a7c15ull + hi + 1));
+}
+
+}  // namespace
+
 PGraph build_base_graph(const CsrMatrix& adj, bool balance_edges) {
   PGraph g;
   g.n = adj.n_rows();
   g.xadj.assign(static_cast<std::size_t>(g.n) + 1, 0);
   g.vwgt.assign(static_cast<std::size_t>(g.n), 1);
-  // Count non-self edges.
-  for (vid_t v = 0; v < g.n; ++v) {
-    eid_t cnt = 0;
-    for (vid_t u : adj.row_cols(v)) {
-      if (u != v) ++cnt;
+  // Count non-self edges per row (parallel; disjoint slots)...
+  std::vector<eid_t> cnt(static_cast<std::size_t>(g.n), 0);
+  parallel_for(0, g.n, parallel_grain(g.n), [&](std::int64_t b, std::int64_t e) {
+    for (vid_t v = static_cast<vid_t>(b); v < static_cast<vid_t>(e); ++v) {
+      eid_t c = 0;
+      for (vid_t u : adj.row_cols(v)) {
+        if (u != v) ++c;
+      }
+      cnt[static_cast<std::size_t>(v)] = c;
+      if (balance_edges) g.vwgt[static_cast<std::size_t>(v)] = 1 + c;
     }
-    g.xadj[static_cast<std::size_t>(v) + 1] = g.xadj[static_cast<std::size_t>(v)] + cnt;
-    if (balance_edges) g.vwgt[static_cast<std::size_t>(v)] = 1 + cnt;
+  });
+  // ...sequential prefix sum...
+  for (vid_t v = 0; v < g.n; ++v) {
+    g.xadj[static_cast<std::size_t>(v) + 1] =
+        g.xadj[static_cast<std::size_t>(v)] + cnt[static_cast<std::size_t>(v)];
   }
   g.adjncy.resize(static_cast<std::size_t>(g.xadj.back()));
   g.adjwgt.assign(static_cast<std::size_t>(g.xadj.back()), 1);
-  for (vid_t v = 0; v < g.n; ++v) {
-    eid_t out = g.xadj[static_cast<std::size_t>(v)];
-    for (vid_t u : adj.row_cols(v)) {
-      if (u != v) g.adjncy[static_cast<std::size_t>(out++)] = u;
+  // ...and parallel fill into each row's own span.
+  parallel_for(0, g.n, parallel_grain(g.n), [&](std::int64_t b, std::int64_t e) {
+    for (vid_t v = static_cast<vid_t>(b); v < static_cast<vid_t>(e); ++v) {
+      eid_t out = g.xadj[static_cast<std::size_t>(v)];
+      for (vid_t u : adj.row_cols(v)) {
+        if (u != v) g.adjncy[static_cast<std::size_t>(out++)] = u;
+      }
     }
-  }
-  g.total_vwgt = std::accumulate(g.vwgt.begin(), g.vwgt.end(), std::int64_t{0});
+  });
+  g.total_vwgt = parallel_reduce(
+      0, g.n, parallel_grain(g.n), std::int64_t{0},
+      [&](std::int64_t b, std::int64_t e) {
+        std::int64_t acc = 0;
+        for (std::int64_t v = b; v < e; ++v) acc += g.vwgt[static_cast<std::size_t>(v)];
+        return acc;
+      },
+      [](std::int64_t x, std::int64_t y) { return x + y; });
   return g;
 }
 
-// Heavy-edge matching: visit vertices in random order; match each unmatched
-// vertex to its unmatched neighbor with the heaviest connecting edge.
+// Round-synchronous heavy-edge matching (parallel handshake): each round,
+// every unmatched vertex proposes to its best unmatched neighbor under the
+// total edge order (weight, edge_hash, neighbor id); mutual proposals
+// match. The globally best eligible edge is always mutual, so every round
+// makes progress; hash tie-breaks make the expected round count
+// logarithmic. The outcome is a pure function of (graph, seed).
 // Returns the coarse graph and writes the fine->coarse map.
-PGraph coarsen_once(const PGraph& g, Rng& rng, std::vector<vid_t>& cmap) {
+PGraph coarsen_once(const PGraph& g, std::uint64_t seed, std::vector<vid_t>& cmap) {
   const vid_t n = g.n;
+  const std::int64_t grain = parallel_grain(n);
   std::vector<vid_t> match(static_cast<std::size_t>(n), -1);
-  std::vector<vid_t> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  for (vid_t i = n - 1; i > 0; --i) {
-    const auto j = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
-    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+  std::vector<vid_t> propose(static_cast<std::size_t>(n), -1);
+  const int max_rounds = 32;
+  for (int round = 0; round < max_rounds; ++round) {
+    // Propose phase: reads `match` (frozen this round), writes own slot.
+    parallel_for(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
+      for (vid_t v = static_cast<vid_t>(lo); v < static_cast<vid_t>(hi); ++v) {
+        if (match[static_cast<std::size_t>(v)] != -1) {
+          propose[static_cast<std::size_t>(v)] = -1;
+          continue;
+        }
+        vid_t best = -1;
+        std::int64_t best_w = -1;
+        std::uint64_t best_h = 0;
+        for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
+             e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+          const vid_t u = g.adjncy[static_cast<std::size_t>(e)];
+          if (u == v || match[static_cast<std::size_t>(u)] != -1) continue;
+          const std::int64_t w = g.adjwgt[static_cast<std::size_t>(e)];
+          if (w < best_w) continue;
+          const std::uint64_t h = edge_hash(seed, v, u);
+          if (w > best_w || h > best_h || (h == best_h && u > best)) {
+            best_w = w;
+            best_h = h;
+            best = u;
+          }
+        }
+        propose[static_cast<std::size_t>(v)] = best;
+      }
+    });
+    // Accept phase: v matches u iff the proposals are mutual. Both
+    // endpoints detect the handshake independently and write only their
+    // own match slot — race-free and schedule-independent.
+    const std::int64_t matched = parallel_reduce(
+        0, n, grain, std::int64_t{0},
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::int64_t acc = 0;
+          for (vid_t v = static_cast<vid_t>(lo); v < static_cast<vid_t>(hi); ++v) {
+            const vid_t u = propose[static_cast<std::size_t>(v)];
+            if (u != -1 && propose[static_cast<std::size_t>(u)] == v) {
+              match[static_cast<std::size_t>(v)] = u;
+              ++acc;
+            }
+          }
+          return acc;
+        },
+        [](std::int64_t x, std::int64_t y) { return x + y; });
+    if (matched == 0) break;
   }
-  for (vid_t idx = 0; idx < n; ++idx) {
-    const vid_t v = order[static_cast<std::size_t>(idx)];
-    if (match[static_cast<std::size_t>(v)] != -1) continue;
-    vid_t best = -1;
-    std::int64_t best_w = -1;
-    for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
-         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
-      const vid_t u = g.adjncy[static_cast<std::size_t>(e)];
-      if (match[static_cast<std::size_t>(u)] != -1 || u == v) continue;
-      if (g.adjwgt[static_cast<std::size_t>(e)] > best_w) {
-        best_w = g.adjwgt[static_cast<std::size_t>(e)];
-        best = u;
+  // Leftovers (no unmatched neighbor, or round cap) stay single.
+  parallel_for(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
+    for (vid_t v = static_cast<vid_t>(lo); v < static_cast<vid_t>(hi); ++v) {
+      if (match[static_cast<std::size_t>(v)] == -1) {
+        match[static_cast<std::size_t>(v)] = v;
       }
     }
-    if (best == -1) {
-      match[static_cast<std::size_t>(v)] = v;  // stays single
-    } else {
-      match[static_cast<std::size_t>(v)] = best;
-      match[static_cast<std::size_t>(best)] = v;
-    }
-  }
+  });
 
-  // Assign coarse ids.
+  // Assign coarse ids (sequential scan: O(n), order defines the ids) and
+  // record the one or two fine members of each coarse vertex.
   cmap.assign(static_cast<std::size_t>(n), -1);
+  std::vector<vid_t> rep1, rep2;
+  rep1.reserve(static_cast<std::size_t>(n) / 2 + 1);
+  rep2.reserve(static_cast<std::size_t>(n) / 2 + 1);
   vid_t nc = 0;
   for (vid_t v = 0; v < n; ++v) {
     if (cmap[static_cast<std::size_t>(v)] != -1) continue;
     const vid_t u = match[static_cast<std::size_t>(v)];
     cmap[static_cast<std::size_t>(v)] = nc;
     cmap[static_cast<std::size_t>(u)] = nc;
+    rep1.push_back(v);
+    rep2.push_back(u);
     ++nc;
   }
 
   // Build the coarse graph: sum vertex weights; merge parallel edges.
+  // Contraction is parallel over coarse vertices — each task merges the
+  // (at most two) member adjacency lists of its own coarse rows with a
+  // sort+combine on a task-local buffer.
   PGraph cg;
   cg.n = nc;
   cg.vwgt.assign(static_cast<std::size_t>(nc), 0);
-  for (vid_t v = 0; v < n; ++v) {
-    cg.vwgt[static_cast<std::size_t>(cmap[static_cast<std::size_t>(v)])] +=
-        g.vwgt[static_cast<std::size_t>(v)];
-  }
   cg.total_vwgt = g.total_vwgt;
-
-  // Aggregate coarse adjacency with a scratch accumulator indexed by coarse id.
-  std::vector<std::int64_t> acc(static_cast<std::size_t>(nc), 0);
-  std::vector<vid_t> touched;
   std::vector<std::vector<std::pair<vid_t, std::int64_t>>> rows(
       static_cast<std::size_t>(nc));
-  // Group fine vertices by coarse id.
-  std::vector<std::vector<vid_t>> members(static_cast<std::size_t>(nc));
-  for (vid_t v = 0; v < n; ++v) {
-    members[static_cast<std::size_t>(cmap[static_cast<std::size_t>(v)])].push_back(v);
-  }
-  for (vid_t c = 0; c < nc; ++c) {
-    touched.clear();
-    for (vid_t v : members[static_cast<std::size_t>(c)]) {
-      for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
-           e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
-        const vid_t cu = cmap[static_cast<std::size_t>(g.adjncy[static_cast<std::size_t>(e)])];
-        if (cu == c) continue;  // contracted edge disappears
-        if (acc[static_cast<std::size_t>(cu)] == 0) touched.push_back(cu);
-        acc[static_cast<std::size_t>(cu)] += g.adjwgt[static_cast<std::size_t>(e)];
+  const std::int64_t cgrain = parallel_grain(nc);
+  parallel_for(0, nc, cgrain, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<std::pair<vid_t, std::int64_t>> buf;
+    for (vid_t c = static_cast<vid_t>(lo); c < static_cast<vid_t>(hi); ++c) {
+      const vid_t v = rep1[static_cast<std::size_t>(c)];
+      const vid_t u = rep2[static_cast<std::size_t>(c)];
+      cg.vwgt[static_cast<std::size_t>(c)] =
+          g.vwgt[static_cast<std::size_t>(v)] +
+          (u != v ? g.vwgt[static_cast<std::size_t>(u)] : 0);
+      buf.clear();
+      const vid_t members[2] = {v, u};
+      const int n_members = u == v ? 1 : 2;
+      for (int mi = 0; mi < n_members; ++mi) {
+        const vid_t member = members[mi];
+        for (eid_t e = g.xadj[static_cast<std::size_t>(member)];
+             e < g.xadj[static_cast<std::size_t>(member) + 1]; ++e) {
+          const vid_t cu =
+              cmap[static_cast<std::size_t>(g.adjncy[static_cast<std::size_t>(e)])];
+          if (cu == c) continue;  // contracted edge disappears
+          buf.emplace_back(cu, g.adjwgt[static_cast<std::size_t>(e)]);
+        }
+      }
+      std::sort(buf.begin(), buf.end());
+      auto& row = rows[static_cast<std::size_t>(c)];
+      row.reserve(buf.size());
+      for (const auto& [cu, w] : buf) {
+        if (!row.empty() && row.back().first == cu) {
+          row.back().second += w;
+        } else {
+          row.emplace_back(cu, w);
+        }
       }
     }
-    auto& row = rows[static_cast<std::size_t>(c)];
-    row.reserve(touched.size());
-    for (vid_t cu : touched) {
-      row.emplace_back(cu, acc[static_cast<std::size_t>(cu)]);
-      acc[static_cast<std::size_t>(cu)] = 0;
-    }
-    std::sort(row.begin(), row.end());
-  }
+  });
   cg.xadj.assign(static_cast<std::size_t>(nc) + 1, 0);
   for (vid_t c = 0; c < nc; ++c) {
     cg.xadj[static_cast<std::size_t>(c) + 1] =
@@ -137,14 +228,16 @@ PGraph coarsen_once(const PGraph& g, Rng& rng, std::vector<vid_t>& cmap) {
   }
   cg.adjncy.resize(static_cast<std::size_t>(cg.xadj.back()));
   cg.adjwgt.resize(static_cast<std::size_t>(cg.xadj.back()));
-  for (vid_t c = 0; c < nc; ++c) {
-    eid_t out = cg.xadj[static_cast<std::size_t>(c)];
-    for (const auto& [cu, w] : rows[static_cast<std::size_t>(c)]) {
-      cg.adjncy[static_cast<std::size_t>(out)] = cu;
-      cg.adjwgt[static_cast<std::size_t>(out)] = w;
-      ++out;
+  parallel_for(0, nc, cgrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (vid_t c = static_cast<vid_t>(lo); c < static_cast<vid_t>(hi); ++c) {
+      eid_t out = cg.xadj[static_cast<std::size_t>(c)];
+      for (const auto& [cu, w] : rows[static_cast<std::size_t>(c)]) {
+        cg.adjncy[static_cast<std::size_t>(out)] = cu;
+        cg.adjwgt[static_cast<std::size_t>(out)] = w;
+        ++out;
+      }
     }
-  }
+  });
   return cg;
 }
 
@@ -171,7 +264,9 @@ void fix_empty_parts(const PGraph& g, int k, std::vector<vid_t>& part) {
   }
 }
 
-// Greedy graph-growing initial partition on the coarsest graph.
+// Greedy graph-growing initial partition on the coarsest graph. Runs on the
+// smallest level only, so it stays sequential (and rng-order dependent,
+// which is fine: the draw sequence is independent of the thread count).
 void initial_partition(const PGraph& g, int k, Rng& rng, std::vector<vid_t>& part) {
   const vid_t n = g.n;
   part.assign(static_cast<std::size_t>(n), -1);
@@ -238,38 +333,74 @@ void initial_partition(const PGraph& g, int k, Rng& rng, std::vector<vid_t>& par
 void refine_edgecut(const PGraph& g, int k, double eps, int passes, Rng& rng,
                     std::vector<vid_t>& part) {
   const vid_t n = g.n;
-  std::vector<std::int64_t> pw(static_cast<std::size_t>(k), 0);
-  for (vid_t v = 0; v < n; ++v) {
-    pw[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
-        g.vwgt[static_cast<std::size_t>(v)];
-  }
+  const std::int64_t grain = parallel_grain(n);
+  std::vector<std::int64_t> pw = parallel_reduce(
+      0, n, grain, std::vector<std::int64_t>(static_cast<std::size_t>(k), 0),
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::int64_t> acc(static_cast<std::size_t>(k), 0);
+        for (std::int64_t v = lo; v < hi; ++v) {
+          acc[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+              g.vwgt[static_cast<std::size_t>(v)];
+        }
+        return acc;
+      },
+      [k](std::vector<std::int64_t> x, const std::vector<std::int64_t>& y) {
+        for (int p = 0; p < k; ++p) {
+          x[static_cast<std::size_t>(p)] += y[static_cast<std::size_t>(p)];
+        }
+        return x;
+      });
   const double max_allowed = (1.0 + eps) * static_cast<double>(g.total_vwgt) / k;
 
   std::vector<std::int64_t> conn(static_cast<std::size_t>(k), 0);
   std::vector<vid_t> touched;
-  std::vector<vid_t> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::uint8_t> is_boundary(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> boundary;
 
   for (int pass = 0; pass < passes; ++pass) {
-    bool improved = false;
-    for (vid_t i = n - 1; i > 0; --i) {
-      const auto j = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
-      std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+    // Gain/edge-cut candidate evaluation is the scan half of the pass:
+    // find the boundary vertices in parallel (only they can move). The
+    // move loop itself stays sequential over an id-ordered, seed-shuffled
+    // boundary list, so the outcome cannot depend on the thread count.
+    parallel_for(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
+      for (vid_t v = static_cast<vid_t>(lo); v < static_cast<vid_t>(hi); ++v) {
+        const vid_t pv = part[static_cast<std::size_t>(v)];
+        std::uint8_t b = 0;
+        for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
+             e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+          const auto u = static_cast<std::size_t>(g.adjncy[static_cast<std::size_t>(e)]);
+          if (part[u] != pv) {
+            b = 1;
+            break;
+          }
+        }
+        is_boundary[static_cast<std::size_t>(v)] = b;
+      }
+    });
+    boundary.clear();
+    for (vid_t v = 0; v < n; ++v) {
+      if (is_boundary[static_cast<std::size_t>(v)]) boundary.push_back(v);
     }
-    for (vid_t idx = 0; idx < n; ++idx) {
-      const vid_t v = order[static_cast<std::size_t>(idx)];
+    if (boundary.empty()) break;
+    for (std::size_t i = boundary.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
+      std::swap(boundary[i], boundary[j]);
+    }
+
+    bool improved = false;
+    for (const vid_t v : boundary) {
       const vid_t pv = part[static_cast<std::size_t>(v)];
       touched.clear();
-      bool boundary = false;
+      bool still_boundary = false;
       for (eid_t e = g.xadj[static_cast<std::size_t>(v)];
            e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
         const vid_t pu =
             part[static_cast<std::size_t>(g.adjncy[static_cast<std::size_t>(e)])];
         if (conn[static_cast<std::size_t>(pu)] == 0) touched.push_back(pu);
         conn[static_cast<std::size_t>(pu)] += g.adjwgt[static_cast<std::size_t>(e)];
-        if (pu != pv) boundary = true;
+        if (pu != pv) still_boundary = true;
       }
-      if (boundary) {
+      if (still_boundary) {
         const std::int64_t internal = conn[static_cast<std::size_t>(pv)];
         vid_t best = -1;
         std::int64_t best_gain = 0;
@@ -304,7 +435,8 @@ std::vector<vid_t> multilevel_edgecut(const CsrMatrix& adj, int k,
   Rng rng(opts.seed);
   PGraph base = build_base_graph(adj, opts.balance_edges);
 
-  // V-cycle: coarsen...
+  // V-cycle: coarsen... (one rng draw per level seeds the matching hashes;
+  // the draw count never depends on the thread count)
   std::vector<PGraph> levels;
   std::vector<std::vector<vid_t>> cmaps;
   levels.push_back(std::move(base));
@@ -312,7 +444,8 @@ std::vector<vid_t> multilevel_edgecut(const CsrMatrix& adj, int k,
       std::max<vid_t>(static_cast<vid_t>(k) * opts.coarsen_target_per_part, 64);
   while (levels.back().n > stop_n) {
     std::vector<vid_t> cmap;
-    PGraph cg = coarsen_once(levels.back(), rng, cmap);
+    const std::uint64_t level_seed = rng.next();
+    PGraph cg = coarsen_once(levels.back(), level_seed, cmap);
     if (cg.n > levels.back().n * 9 / 10) break;  // diminishing returns
     levels.push_back(std::move(cg));
     cmaps.push_back(std::move(cmap));
@@ -327,9 +460,15 @@ std::vector<vid_t> multilevel_edgecut(const CsrMatrix& adj, int k,
   for (std::size_t lvl = cmaps.size(); lvl-- > 0;) {
     const auto& cmap = cmaps[lvl];
     std::vector<vid_t> fine(cmap.size());
-    for (std::size_t v = 0; v < cmap.size(); ++v) {
-      fine[v] = part[static_cast<std::size_t>(cmap[v])];
-    }
+    const auto n_fine = static_cast<std::int64_t>(cmap.size());
+    parallel_for(0, n_fine, parallel_grain(n_fine),
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t v = lo; v < hi; ++v) {
+                     const auto coarse =
+                         static_cast<std::size_t>(cmap[static_cast<std::size_t>(v)]);
+                     fine[static_cast<std::size_t>(v)] = part[coarse];
+                   }
+                 });
     part = std::move(fine);
     refine_edgecut(levels[lvl], k, opts.epsilon, opts.refine_passes, rng, part);
   }

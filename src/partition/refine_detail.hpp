@@ -22,7 +22,9 @@ struct PGraph {
 };
 
 PGraph build_base_graph(const CsrMatrix& adj, bool balance_edges);
-PGraph coarsen_once(const PGraph& g, Rng& rng, std::vector<vid_t>& cmap);
+/// One round-synchronous propose–accept matching + contraction step.
+/// Deterministic for a fixed `seed` independent of the thread count.
+PGraph coarsen_once(const PGraph& g, std::uint64_t seed, std::vector<vid_t>& cmap);
 void initial_partition(const PGraph& g, int k, Rng& rng, std::vector<vid_t>& part);
 void refine_edgecut(const PGraph& g, int k, double eps, int passes, Rng& rng,
                     std::vector<vid_t>& part);

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
+
 namespace sagnn {
 
 void Cluster::run(const std::function<void(Comm&)>& fn) {
@@ -13,6 +15,11 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([this, &fn, &errors, r] {
+      // A simulated rank models one GPU: its compute must stay
+      // single-threaded so ThreadCpuTimer measurements and the
+      // bit-identical serial-parity sweep are unaffected by the host
+      // thread pool (common/parallel.hpp nesting guard).
+      SerialRegion serial;
       try {
         Comm comm(world_, r);
         fn(comm);

@@ -58,9 +58,11 @@ CsrMatrix CsrMatrix::transpose() const {
     }
   }
   // Rows of the transpose are filled in increasing source-row order, so the
-  // column indices are already sorted.
-  return CsrMatrix(n_cols_, n_rows_, std::move(t_ptr), std::move(t_col),
-                   std::move(t_val));
+  // column indices are already sorted — the counting sort preserves every
+  // CSR invariant by construction, and the unchecked path skips re-walking
+  // all nnz in validate().
+  return CsrMatrix(UncheckedTag{}, n_cols_, n_rows_, std::move(t_ptr),
+                   std::move(t_col), std::move(t_val));
 }
 
 real_t CsrMatrix::at(vid_t r, vid_t c) const {

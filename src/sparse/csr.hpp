@@ -64,6 +64,19 @@ class CsrMatrix {
   bool operator==(const CsrMatrix& o) const = default;
 
  private:
+  /// Tag for the unchecked construction path: arrays produced by kernels
+  /// that preserve the invariants structurally (e.g. transpose()'s counting
+  /// sort) skip the O(nnz) validate() pass. Public constructors and
+  /// from_coo always validate.
+  struct UncheckedTag {};
+  CsrMatrix(UncheckedTag, vid_t n_rows, vid_t n_cols, std::vector<eid_t> row_ptr,
+            std::vector<vid_t> col_idx, std::vector<real_t> vals)
+      : n_rows_(n_rows),
+        n_cols_(n_cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        vals_(std::move(vals)) {}
+
   vid_t n_rows_ = 0;
   vid_t n_cols_ = 0;
   std::vector<eid_t> row_ptr_{0};

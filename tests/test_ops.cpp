@@ -45,9 +45,12 @@ TEST(Ops, AddAndAxpy) {
   const Matrix b(1, 2, {10, 20});
   add_inplace(a, b);
   EXPECT_FLOAT_EQ(a(0, 1), 22.0f);
-  axpy_inplace(a, b, 0.5f);  // a -= 0.5*b
-  EXPECT_FLOAT_EQ(a(0, 0), 6.0f);
-  EXPECT_FLOAT_EQ(a(0, 1), 12.0f);
+  axpy_inplace(a, b, 0.5f);  // conventional axpy: a += 0.5*b
+  EXPECT_FLOAT_EQ(a(0, 0), 16.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 32.0f);
+  axpy_inplace(a, b, -0.5f);  // negative scale subtracts (the SGD step)
+  EXPECT_FLOAT_EQ(a(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 22.0f);
 }
 
 TEST(Ops, SoftmaxRowsSumToOne) {

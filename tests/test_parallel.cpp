@@ -1,0 +1,174 @@
+// The thread-pool parallel runtime (common/parallel.hpp): coverage of the
+// three contracts everything else relies on — fixed chunk boundaries,
+// thread-count-invariant reductions, and the nesting guard that keeps
+// simulated cluster ranks single-threaded.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "simcomm/cluster.hpp"
+
+namespace sagnn {
+namespace {
+
+/// Restores the environment-default pool size on scope exit so tests can't
+/// leak a pinned thread count into each other.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_parallel_threads(0); }
+};
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (int t : {1, 2, 8}) {
+    set_parallel_threads(t);
+    const std::int64_t n = 1003;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    parallel_for(0, n, 17, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(Parallel, ChunkBoundariesIndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  std::set<std::pair<std::int64_t, std::int64_t>> reference;
+  for (int t : {1, 3, 8}) {
+    set_parallel_threads(t);
+    std::mutex mu;
+    std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+    parallel_for(5, 104, 13, [&](std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace(b, e);
+    });
+    if (t == 1) {
+      reference = chunks;
+      // ceil((104-5)/13) = 8 chunks, first [5,18), last [96,104).
+      EXPECT_EQ(chunks.size(), 8u);
+      EXPECT_TRUE(chunks.count({5, 18}));
+      EXPECT_TRUE(chunks.count({96, 104}));
+    } else {
+      EXPECT_EQ(chunks, reference) << t << " threads";
+    }
+  }
+}
+
+TEST(Parallel, ReduceIsBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  // Floating-point partial sums whose grouping WOULD change the bits if the
+  // combine order ever depended on scheduling.
+  std::vector<float> xs(10007);
+  Rng rng(3);
+  for (auto& x : xs) x = rng.uniform(-10.0f, 10.0f);
+  const auto sum_at = [&](int threads) {
+    set_parallel_threads(threads);
+    return parallel_reduce(
+        0, static_cast<std::int64_t>(xs.size()), 64, 0.0f,
+        [&](std::int64_t b, std::int64_t e) {
+          float acc = 0;
+          for (std::int64_t i = b; i < e; ++i) acc += xs[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  const float s1 = sum_at(1);
+  for (int t : {2, 5, 8}) {
+    const float st = sum_at(t);
+    EXPECT_EQ(std::memcmp(&s1, &st, sizeof(float)), 0) << t << " threads";
+  }
+}
+
+TEST(Parallel, ReduceEmptyRangeReturnsIdentity) {
+  EXPECT_EQ(parallel_reduce(
+                3, 3, 1, 42,
+                [](std::int64_t, std::int64_t) { return 7; },
+                [](int a, int b) { return a + b; }),
+            42);
+}
+
+TEST(Parallel, SetThreadsPinsAndZeroRestoresDefault) {
+  ThreadCountGuard guard;
+  set_parallel_threads(3);
+  EXPECT_EQ(parallel_threads(), 3);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1);
+}
+
+TEST(Parallel, SerialRegionForcesInlineExecution) {
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  SerialRegion serial;
+  EXPECT_TRUE(in_serial_region());
+  std::set<std::thread::id> ids;
+  parallel_for(0, 64, 1, [&](std::int64_t, std::int64_t) {
+    ids.insert(std::this_thread::get_id());  // no mutex needed: must be inline
+  });
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(ids.count(std::this_thread::get_id()));
+}
+
+TEST(Parallel, SerialRegionNests) {
+  {
+    SerialRegion outer;
+    {
+      SerialRegion inner;
+      EXPECT_TRUE(in_serial_region());
+    }
+    EXPECT_TRUE(in_serial_region());
+  }
+  EXPECT_FALSE(in_serial_region());
+}
+
+TEST(Parallel, ClusterRanksComputeSerially) {
+  // The nesting guard of the tentpole: parallel_for issued from inside a
+  // simulated rank (the Cluster SPMD launcher) must run inline on that
+  // rank's own thread, so per-rank ThreadCpuTimer readings and serial
+  // parity stay exact.
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  std::mutex mu;
+  std::vector<std::pair<std::thread::id, std::set<std::thread::id>>> per_rank;
+  run_spmd(3, [&](Comm& comm) {
+    (void)comm;
+    EXPECT_TRUE(in_serial_region());
+    std::set<std::thread::id> ids;
+    parallel_for(0, 32, 1, [&](std::int64_t, std::int64_t) {
+      ids.insert(std::this_thread::get_id());
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    per_rank.emplace_back(std::this_thread::get_id(), std::move(ids));
+  });
+  ASSERT_EQ(per_rank.size(), 3u);
+  for (const auto& [rank_id, ids] : per_rank) {
+    EXPECT_EQ(ids.size(), 1u);
+    EXPECT_TRUE(ids.count(rank_id)) << "work escaped the rank thread";
+  }
+}
+
+TEST(Parallel, WorkerThreadsRunNestedForInline) {
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  std::atomic<bool> nested_ok{true};
+  parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    // Inside pool work every thread (workers AND the submitting thread,
+    // which participates) must refuse to fan out again.
+    const std::thread::id self = std::this_thread::get_id();
+    parallel_for(0, 4, 1, [&](std::int64_t, std::int64_t) {
+      if (std::this_thread::get_id() != self) nested_ok = false;
+    });
+  });
+  EXPECT_TRUE(nested_ok.load());
+}
+
+}  // namespace
+}  // namespace sagnn

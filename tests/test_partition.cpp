@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "graph/generators.hpp"
 #include "partition/metrics.hpp"
 #include "partition/partition.hpp"
@@ -95,6 +96,25 @@ TEST(Partition, MultilevelIsDeterministicPerSeed) {
   const auto p1 = EdgeCutPartitioner(opts).partition(a, 8);
   const auto p2 = EdgeCutPartitioner(opts).partition(a, 8);
   EXPECT_EQ(p1.part_of, p2.part_of);
+}
+
+TEST(Partition, OptimizingPartitionersInvariantToThreadCount) {
+  // The parallel-coarsening determinism contract: for a fixed seed the
+  // assignment vector is identical at every pool size (round-synchronous
+  // propose-accept matching; no sequential visit order anywhere).
+  const CsrMatrix a = test_graph(3);
+  PartitionerOptions opts;
+  opts.seed = 123;
+  for (const char* name : {"metis", "gvb"}) {
+    std::vector<std::vector<vid_t>> results;
+    for (int t : {1, 2, 8}) {
+      set_parallel_threads(t);
+      results.push_back(make_partitioner(name, opts)->partition(a, 8).part_of);
+    }
+    set_parallel_threads(0);
+    EXPECT_EQ(results[0], results[1]) << name << " differs at 2 threads";
+    EXPECT_EQ(results[0], results[2]) << name << " differs at 8 threads";
+  }
 }
 
 TEST(Partition, MultilevelRecoversRingOfCliques) {
