@@ -1,5 +1,7 @@
 #include "bench_support/experiment.hpp"
 
+#include <fstream>
+
 namespace sagnn {
 
 TrainConfig ExperimentSpec::to_train_config(const Dataset& dataset) const {
@@ -24,8 +26,33 @@ TrainConfig ExperimentSpec::to_train_config(const Dataset& dataset) const {
 }
 
 TrainResult run_experiment(const Dataset& dataset, const ExperimentSpec& spec) {
-  auto trainer = TrainerBuilder(dataset).config(spec.to_train_config(dataset)).build();
+  std::unique_ptr<Trainer> trainer;
+  if (!spec.resume_from.empty()) {
+    // Resume path: the checkpoint's configuration is authoritative. Only
+    // fields the caller put into resume_overrides become explicit builder
+    // overrides (a different p than the snapshot's is an elastic restart).
+    std::ifstream in(spec.resume_from, std::ios::binary);
+    SAGNN_REQUIRE(in.good(), "cannot open checkpoint " + spec.resume_from);
+    TrainerBuilder builder(dataset);
+    const auto& ov = spec.resume_overrides;
+    // c = 0 in ranks() means "keep the checkpoint's replication factor"
+    // on the resume path (TrainerBuilder::resume documents this).
+    if (ov.p > 0) builder.ranks(ov.p, ov.c);
+    if (!ov.partitioner.empty()) {
+      builder.partitioner(ov.partitioner, spec.partitioner_options);
+    }
+    if (ov.epochs > 0) builder.epochs(ov.epochs);
+    trainer = builder.resume(in);
+  } else {
+    trainer = TrainerBuilder(dataset).config(spec.to_train_config(dataset)).build();
+  }
   trainer->train();
+  if (!spec.checkpoint_to.empty()) {
+    std::ofstream out(spec.checkpoint_to, std::ios::binary);
+    SAGNN_REQUIRE(out.good(),
+                  "cannot open " + spec.checkpoint_to + " for writing");
+    trainer->save(out);
+  }
   return trainer->result();
 }
 

@@ -30,6 +30,26 @@ struct ExperimentSpec {
   CostModel cost_model;
   SamplingConfig sampling;
 
+  // --- checkpoint knobs (src/ckpt/) ---
+  /// When non-empty, resume from this checkpoint file instead of building
+  /// a fresh trainer. The checkpoint's configuration is authoritative —
+  /// the spec's other fields are IGNORED on resume; deviate only through
+  /// `resume_overrides` below.
+  std::string resume_from;
+  /// Explicit overrides applied on resume; zero/empty fields keep the
+  /// checkpoint's values. Setting p (and optionally c) is an elastic
+  /// restart onto a new rank count.
+  struct ResumeOverrides {
+    int p = 0;
+    int c = 0;
+    int epochs = 0;
+    std::string partitioner;
+  };
+  ResumeOverrides resume_overrides;
+  /// When non-empty, save the final training state to this file after the
+  /// run, so a later experiment can continue from it.
+  std::string checkpoint_to;
+
   /// The equivalent TrainConfig for `dataset`.
   TrainConfig to_train_config(const Dataset& dataset) const;
 };

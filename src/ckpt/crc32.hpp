@@ -1,0 +1,16 @@
+#pragma once
+// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320), table-driven. Used
+// as the per-section integrity check of the checkpoint format.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sagnn::ckpt {
+
+/// One-shot CRC32 of a byte buffer.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Incremental form: feed `crc` from a previous call (start from 0).
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len);
+
+}  // namespace sagnn::ckpt

@@ -1,0 +1,64 @@
+#pragma once
+// Typed error hierarchy of the checkpoint subsystem. Every failure mode of
+// reading a snapshot — truncation, corruption, wrong format revision, or a
+// configuration that contradicts the checkpoint — throws a distinct type
+// naming the section it happened in, so callers can distinguish "retry
+// with the right file" from "the file is damaged" without string-matching.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sagnn::ckpt {
+
+/// Base of every checkpoint failure (itself a sagnn::Error, so existing
+/// catch sites keep working).
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// Bad magic, unsupported version, or a section that is not what the
+/// reader expected (wrong name, trailing bytes, missing end marker).
+class CheckpointFormatError : public CheckpointError {
+ public:
+  explicit CheckpointFormatError(const std::string& what)
+      : CheckpointError("checkpoint format error: " + what) {}
+};
+
+/// The stream ended before the bytes the header promised.
+class CheckpointTruncatedError : public CheckpointError {
+ public:
+  explicit CheckpointTruncatedError(const std::string& section)
+      : CheckpointError("checkpoint truncated in section '" + section + "'"),
+        section_(section) {}
+  const std::string& section() const { return section_; }
+
+ private:
+  std::string section_;
+};
+
+/// A section's payload does not match its stored CRC32.
+class CheckpointCrcError : public CheckpointError {
+ public:
+  CheckpointCrcError(const std::string& section, std::uint32_t expected,
+                     std::uint32_t actual)
+      : CheckpointError("checkpoint CRC mismatch in section '" + section +
+                        "': stored " + std::to_string(expected) +
+                        ", computed " + std::to_string(actual)),
+        section_(section) {}
+  const std::string& section() const { return section_; }
+
+ private:
+  std::string section_;
+};
+
+/// The checkpoint is intact but contradicts the restore request: different
+/// dataset, different strategy name, incompatible model shape.
+class CheckpointMismatchError : public CheckpointError {
+ public:
+  explicit CheckpointMismatchError(const std::string& what)
+      : CheckpointError("checkpoint mismatch: " + what) {}
+};
+
+}  // namespace sagnn::ckpt

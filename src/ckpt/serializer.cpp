@@ -1,0 +1,281 @@
+#include "ckpt/serializer.hpp"
+
+#include <bit>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "ckpt/crc32.hpp"
+
+namespace sagnn::ckpt {
+
+// ---------------------------------------------------------------- writer
+
+Serializer::Serializer(std::ostream& out) : out_(out) {
+  out_.write(kMagic.data(), kMagic.size());
+  raw_u32(out_, kVersion);
+  raw_u32(out_, kByteOrderProbe);
+  SAGNN_REQUIRE(out_.good(), "checkpoint stream not writable");
+}
+
+void Serializer::raw_u32(std::ostream& os, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  os.write(b, 4);
+}
+
+void Serializer::raw_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  os.write(b, 8);
+}
+
+void Serializer::begin_section(const std::string& name) {
+  SAGNN_REQUIRE(!in_section_, "checkpoint sections cannot nest");
+  SAGNN_REQUIRE(!name.empty() && name != kEndSection,
+                "invalid checkpoint section name: '" + name + "'");
+  section_name_ = name;
+  buffer_.clear();
+  in_section_ = true;
+}
+
+void Serializer::end_section() {
+  SAGNN_REQUIRE(in_section_, "end_section without begin_section");
+  raw_u32(out_, static_cast<std::uint32_t>(section_name_.size()));
+  out_.write(section_name_.data(),
+             static_cast<std::streamsize>(section_name_.size()));
+  raw_u64(out_, buffer_.size());
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  raw_u32(out_, crc32(buffer_.data(), buffer_.size()));
+  SAGNN_REQUIRE(out_.good(),
+                "checkpoint stream failed while writing section '" +
+                    section_name_ + "'");
+  in_section_ = false;
+}
+
+void Serializer::finish() {
+  SAGNN_REQUIRE(!in_section_, "finish() inside an open section");
+  const std::string end = kEndSection;
+  raw_u32(out_, static_cast<std::uint32_t>(end.size()));
+  out_.write(end.data(), static_cast<std::streamsize>(end.size()));
+  raw_u64(out_, 0);
+  raw_u32(out_, crc32(nullptr, 0));
+  out_.flush();
+  SAGNN_REQUIRE(out_.good(), "checkpoint stream failed while finishing");
+}
+
+void Serializer::put_bytes(const void* data, std::size_t len) {
+  SAGNN_REQUIRE(in_section_, "checkpoint writes must happen inside a section");
+  buffer_.append(static_cast<const char*>(data), len);
+}
+
+void Serializer::write_u8(std::uint8_t v) { put_bytes(&v, 1); }
+
+void Serializer::write_u32(std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  put_bytes(b, 4);
+}
+
+void Serializer::write_u64(std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  put_bytes(b, 8);
+}
+
+void Serializer::write_i32(std::int32_t v) {
+  write_u32(static_cast<std::uint32_t>(v));
+}
+
+void Serializer::write_i64(std::int64_t v) {
+  write_u64(static_cast<std::uint64_t>(v));
+}
+
+void Serializer::write_f32(float v) { write_u32(std::bit_cast<std::uint32_t>(v)); }
+
+void Serializer::write_f64(double v) { write_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Serializer::write_string(const std::string& s) {
+  write_u64(s.size());
+  put_bytes(s.data(), s.size());
+}
+
+// ---------------------------------------------------------------- reader
+
+Deserializer::Deserializer(std::istream& in) : in_(in) {
+  std::array<char, 8> magic{};
+  in_.read(magic.data(), magic.size());
+  if (in_.gcount() != static_cast<std::streamsize>(magic.size())) {
+    throw CheckpointTruncatedError("header");
+  }
+  if (magic != kMagic) {
+    throw CheckpointFormatError("bad magic — not a SAGNN checkpoint");
+  }
+  const std::uint32_t version = raw_u32("header");
+  if (version != kVersion) {
+    throw CheckpointFormatError("unsupported checkpoint version " +
+                                std::to_string(version) + " (this build reads " +
+                                std::to_string(kVersion) + ")");
+  }
+  const std::uint32_t probe = raw_u32("header");
+  if (probe != kByteOrderProbe) {
+    throw CheckpointFormatError(
+        "byte-order probe mismatch — checkpoint written on an "
+        "incompatible-endianness host");
+  }
+}
+
+std::uint32_t Deserializer::raw_u32(const char* context) {
+  char b[4];
+  in_.read(b, 4);
+  if (in_.gcount() != 4) throw CheckpointTruncatedError(context);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Deserializer::raw_u64(const char* context) {
+  char b[8];
+  in_.read(b, 8);
+  if (in_.gcount() != 8) throw CheckpointTruncatedError(context);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+void Deserializer::load_header() {
+  if (header_loaded_) return;
+  const std::uint32_t name_len = raw_u32("section header");
+  // A section name is a short ASCII identifier; a giant length here means
+  // the stream is desynchronized or corrupt, not a real name.
+  if (name_len == 0 || name_len > 256) {
+    throw CheckpointFormatError("implausible section-name length " +
+                                std::to_string(name_len));
+  }
+  pending_name_.resize(name_len);
+  in_.read(pending_name_.data(), name_len);
+  if (in_.gcount() != static_cast<std::streamsize>(name_len)) {
+    throw CheckpointTruncatedError("section header");
+  }
+  pending_len_ = raw_u64(pending_name_.c_str());
+  header_loaded_ = true;
+}
+
+const std::string& Deserializer::peek_section() {
+  SAGNN_REQUIRE(!in_section_, "peek_section inside an open section");
+  load_header();
+  return pending_name_;
+}
+
+void Deserializer::enter_section(const std::string& name) {
+  SAGNN_REQUIRE(!in_section_, "checkpoint sections cannot nest");
+  load_header();
+  if (pending_name_ != name) {
+    throw CheckpointFormatError("expected section '" + name + "', found '" +
+                                pending_name_ + "'");
+  }
+  // The length field is outside the payload CRC, so it can be damaged on
+  // its own: read in bounded chunks instead of trusting it for one big
+  // allocation — a corrupt huge length hits end-of-stream after at most
+  // one extra chunk and reports as truncation, never bad_alloc.
+  constexpr std::uint64_t kChunk = 1u << 20;
+  payload_.clear();
+  for (std::uint64_t left = pending_len_; left > 0;) {
+    const auto take = static_cast<std::size_t>(std::min(left, kChunk));
+    const std::size_t old_size = payload_.size();
+    payload_.resize(old_size + take);
+    in_.read(payload_.data() + old_size, static_cast<std::streamsize>(take));
+    if (in_.gcount() != static_cast<std::streamsize>(take)) {
+      throw CheckpointTruncatedError(pending_name_);
+    }
+    left -= take;
+  }
+  const std::uint32_t stored = raw_u32(pending_name_.c_str());
+  const std::uint32_t actual = crc32(payload_.data(), payload_.size());
+  if (stored != actual) {
+    throw CheckpointCrcError(pending_name_, stored, actual);
+  }
+  section_name_ = pending_name_;
+  cursor_ = 0;
+  in_section_ = true;
+  header_loaded_ = false;
+}
+
+void Deserializer::leave_section() {
+  SAGNN_REQUIRE(in_section_, "leave_section without enter_section");
+  if (cursor_ != payload_.size()) {
+    throw CheckpointFormatError(
+        "section '" + section_name_ + "' has " +
+        std::to_string(payload_.size() - cursor_) + " unread trailing bytes");
+  }
+  in_section_ = false;
+}
+
+void Deserializer::finish() {
+  SAGNN_REQUIRE(!in_section_, "finish() inside an open section");
+  load_header();
+  if (pending_name_ != kEndSection) {
+    throw CheckpointFormatError("expected end marker, found section '" +
+                                pending_name_ + "'");
+  }
+}
+
+void Deserializer::check_remaining(std::uint64_t n) const {
+  if (!in_section_ || payload_.size() - cursor_ < n) {
+    throw CheckpointTruncatedError(in_section_ ? section_name_
+                                               : std::string("header"));
+  }
+}
+
+const char* Deserializer::take_bytes(std::size_t len) {
+  check_remaining(len);
+  const char* p = payload_.data() + cursor_;
+  cursor_ += len;
+  return p;
+}
+
+std::uint8_t Deserializer::read_u8() {
+  return static_cast<std::uint8_t>(*take_bytes(1));
+}
+
+std::uint32_t Deserializer::read_u32() {
+  const char* b = take_bytes(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Deserializer::read_u64() {
+  const char* b = take_bytes(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::int32_t Deserializer::read_i32() {
+  return static_cast<std::int32_t>(read_u32());
+}
+
+std::int64_t Deserializer::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+float Deserializer::read_f32() { return std::bit_cast<float>(read_u32()); }
+
+double Deserializer::read_f64() { return std::bit_cast<double>(read_u64()); }
+
+std::string Deserializer::read_string() {
+  const std::uint64_t len = read_u64();
+  const char* b = take_bytes(static_cast<std::size_t>(len));
+  return std::string(b, static_cast<std::size_t>(len));
+}
+
+}  // namespace sagnn::ckpt

@@ -1,0 +1,152 @@
+#pragma once
+// The checkpoint wire format: a versioned, self-describing, little-endian
+// chunked binary stream.
+//
+//   header   := magic "SAGNCKPT" (8 bytes) | u32 version | u32 byte-order
+//               probe 0x01020304 (written little-endian, so a reader on a
+//               big-endian host sees 0x04030201 and can reject cleanly)
+//   section  := u32 name_len | name bytes | u64 payload_len | payload
+//               | u32 crc32(payload)
+//   trailer  := section named "end" with empty payload
+//
+// Sections are written and read in order, but each one carries its own
+// name, length, and CRC, so a reader can skip sections it does not know
+// and detect exactly which section a corruption or truncation hit.
+// All integers are little-endian fixed-width; floats are IEEE-754 bit
+// patterns of their fixed width — what makes bit-identical restore a
+// well-defined promise.
+//
+// Serializer buffers one section at a time (begin_section/end_section);
+// Deserializer validates the header on construction, then enter_section()
+// loads + CRC-checks one section and the typed read_* calls consume it
+// (leave_section() asserts nothing is left over). Failures throw the
+// typed errors of ckpt/errors.hpp, never UB.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ckpt/errors.hpp"
+
+namespace sagnn::ckpt {
+
+inline constexpr std::array<char, 8> kMagic = {'S', 'A', 'G', 'N',
+                                               'C', 'K', 'P', 'T'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kByteOrderProbe = 0x01020304u;
+inline constexpr const char* kEndSection = "end";
+
+class Serializer {
+ public:
+  /// Writes the format header immediately.
+  explicit Serializer(std::ostream& out);
+
+  /// Start buffering a named section. Sections cannot nest.
+  void begin_section(const std::string& name);
+  /// Flush the buffered section (header + payload + CRC) to the stream.
+  void end_section();
+  /// Write the end-marker section. Call exactly once, after the last
+  /// section.
+  void finish();
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+
+  template <typename T, typename WriteOne>
+  void write_vector(const std::vector<T>& v, WriteOne write_one) {
+    write_u64(v.size());
+    for (const T& x : v) write_one(*this, x);
+  }
+
+ private:
+  void put_bytes(const void* data, std::size_t len);
+  void raw_u32(std::ostream& os, std::uint32_t v);
+  void raw_u64(std::ostream& os, std::uint64_t v);
+
+  std::ostream& out_;
+  std::string buffer_;  ///< payload of the open section
+  std::string section_name_;
+  bool in_section_ = false;
+};
+
+class Deserializer {
+ public:
+  /// Reads and validates magic, version, and byte-order probe.
+  explicit Deserializer(std::istream& in);
+
+  /// Load the next section, which must be named `name` (throws
+  /// CheckpointFormatError otherwise, CheckpointTruncatedError if the
+  /// stream ends early, CheckpointCrcError on payload corruption).
+  void enter_section(const std::string& name);
+  /// Peek the name of the next section without consuming its payload
+  /// checks; returns "end" at the trailer. Used to branch on optional
+  /// sections.
+  const std::string& peek_section();
+  /// Finish the current section; throws CheckpointFormatError if payload
+  /// bytes remain unread (a reader/writer disagreement, not corruption —
+  /// CRC already passed).
+  void leave_section();
+  /// Consume the end marker; throws if the stream holds something else.
+  void finish();
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+
+  template <typename T, typename ReadOne>
+  std::vector<T> read_vector(ReadOne read_one) {
+    const std::uint64_t n = read_u64();
+    check_remaining(n);  // each element is >= 1 byte: cheap sanity bound
+    std::vector<T> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_one(*this));
+    return v;
+  }
+
+  /// Name of the section currently being read (for error reporting in
+  /// higher-level readers).
+  const std::string& section_name() const { return section_name_; }
+
+  /// Unread bytes left in the current section's payload. Readers that
+  /// allocate based on counts they just read (matrix shapes, slot counts)
+  /// must bound the allocation against this first, so a corrupt count is
+  /// a typed error instead of a giant allocation.
+  std::uint64_t remaining() const {
+    return in_section_ ? payload_.size() - cursor_ : 0;
+  }
+
+ private:
+  /// Read the header of the next section into (pending_name_,
+  /// pending_len_) if not already peeked.
+  void load_header();
+  /// Throw CheckpointTruncatedError unless `n` more payload bytes exist.
+  void check_remaining(std::uint64_t n) const;
+  const char* take_bytes(std::size_t len);
+  std::uint32_t raw_u32(const char* context);
+  std::uint64_t raw_u64(const char* context);
+
+  std::istream& in_;
+  std::string section_name_;  ///< section whose payload is loaded
+  std::string payload_;
+  std::size_t cursor_ = 0;
+  bool in_section_ = false;
+
+  std::string pending_name_;  ///< peeked-but-not-entered section header
+  std::uint64_t pending_len_ = 0;
+  bool header_loaded_ = false;
+};
+
+}  // namespace sagnn::ckpt

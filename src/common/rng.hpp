@@ -6,6 +6,7 @@
 // seeded through SplitMix64, so that every experiment in bench/ is exactly
 // reproducible from its printed seed.
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -63,6 +64,16 @@ class Rng {
 
   /// Fork a statistically independent stream, e.g. one per rank/vertex.
   Rng fork(std::uint64_t stream_id) const;
+
+  /// Complete generator state {s0, s1, s2, s3, seed}, for checkpointing:
+  /// load_state(save_state()) makes the stream continue bit-identically.
+  std::array<std::uint64_t, 5> save_state() const {
+    return {s_[0], s_[1], s_[2], s_[3], seed_};
+  }
+  void load_state(const std::array<std::uint64_t, 5>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<std::size_t>(i)];
+    seed_ = state[4];
+  }
 
  private:
   std::uint64_t s_[4];

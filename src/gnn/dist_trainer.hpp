@@ -53,6 +53,14 @@ using DistTrainerResult = TrainResult;
 /// Run a full distributed training job (thin wrapper over TrainerBuilder).
 /// Collectives inside require p >= 1; 1.5D algorithms need c^2 | p; 2D
 /// algorithms need a square p.
+///
+/// Deprecated since PR 4; scheduled for removal in PR 7 (see docs/api.md,
+/// "Deprecations"). Migrate:
+///   TrainerBuilder(ds).config(options.to_train_config()).build()->train()
+/// — identical behavior, plus epoch stepping and checkpoint/restore.
+[[deprecated(
+    "use TrainerBuilder (see docs/api.md 'Deprecations'; removal planned "
+    "for PR 7)")]]
 DistTrainerResult train_distributed(const Dataset& dataset,
                                     const DistTrainerOptions& options);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.hpp"
 #include "common/timer.hpp"
 #include "gnn/loss.hpp"
 #include "sparse/permute.hpp"
@@ -23,7 +24,7 @@ struct DistributedTrainer::RankState {
 };
 
 DistributedTrainer::DistributedTrainer(const Dataset& dataset, TrainConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), dataset_(&dataset) {
   SAGNN_REQUIRE(config_.p >= 1, "need at least one rank");
   job_strategy_ = strategy_registry().create(config_.strategy);
   const int n_blocks = job_strategy_->n_blocks(config_.p, config_.c);
@@ -152,6 +153,112 @@ EpochMetrics DistributedTrainer::run_epoch() {
   return metrics;
 }
 
+const GcnModel& DistributedTrainer::model() const {
+  return states_.front()->model;
+}
+
+void DistributedTrainer::save(std::ostream& out) {
+  // The weights are replicated by construction (same init seed, identical
+  // all-reduced gradients); verify before writing one copy, so a snapshot
+  // can never launder a replication bug into a "successful" restore.
+  const GcnModel& reference = states_.front()->model;
+  for (const auto& st : states_) {
+    for (int l = 0; l < reference.n_layers(); ++l) {
+      SAGNN_CHECK(st->model.layer(l).weights() == reference.layer(l).weights());
+    }
+  }
+  ckpt::Serializer s(out);
+  ckpt::write_prologue(s, config_, *dataset_);
+  ckpt::write_progress(s, epoch_, epochs_);
+  s.begin_section("model");
+  ckpt::write_model(s, reference);
+  s.end_section();
+  s.begin_section("traffic");
+  ckpt::write_traffic(s, cluster_->traffic());
+  s.end_section();
+  s.begin_section("rank_cpu");
+  s.write_vector(rank_cpu_seconds_,
+                 [](ckpt::Serializer& x, double v) { x.write_f64(v); });
+  s.end_section();
+  // Epochs NOT covered by the recorder (nonzero iff this run itself began
+  // as an elastic restart) — a later same-geometry resume must keep
+  // dividing traffic by the epochs it actually covers.
+  s.begin_section("traffic_base");
+  s.write_i32(traffic_epoch_base_);
+  s.end_section();
+  s.finish();
+}
+
+void DistributedTrainer::restore(ckpt::Deserializer& d,
+                                 const TrainConfig& saved) {
+  epoch_ = ckpt::read_progress(d, epochs_);
+
+  // Load the replicated weights into every rank's model. The constructor
+  // already partitioned the (possibly new) geometry and ran setup, so this
+  // is pure state injection — no cluster round needed.
+  d.enter_section("model");
+  ckpt::read_model_into(d, states_.front()->model);
+  d.leave_section();
+  for (std::size_t r = 1; r < states_.size(); ++r) {
+    states_[r]->model = states_.front()->model;
+  }
+
+  d.enter_section("traffic");
+  TrafficRecorder saved_traffic = ckpt::read_traffic(d);
+  d.leave_section();
+  d.enter_section("rank_cpu");
+  auto saved_cpu = d.read_vector<double>(
+      [](ckpt::Deserializer& x) { return x.read_f64(); });
+  d.leave_section();
+  if (saved_traffic.p() != saved.p) {
+    throw ckpt::CheckpointFormatError(
+        "section 'traffic': recorded for p=" +
+        std::to_string(saved_traffic.p()) +
+        " but the checkpoint config says p=" + std::to_string(saved.p));
+  }
+  if (saved_cpu.size() != static_cast<std::size_t>(saved_traffic.p())) {
+    throw ckpt::CheckpointFormatError(
+        "section 'rank_cpu': " + std::to_string(saved_cpu.size()) +
+        " entries for a " + std::to_string(saved_traffic.p()) +
+        "-rank snapshot");
+  }
+  d.enter_section("traffic_base");
+  const int saved_traffic_base = d.read_i32();
+  d.leave_section();
+  if (saved_traffic_base < 0 || saved_traffic_base > epoch_) {
+    throw ckpt::CheckpointFormatError(
+        "section 'traffic_base': base " + std::to_string(saved_traffic_base) +
+        " outside [0, " + std::to_string(epoch_) + "]");
+  }
+
+  // "Same geometry" means the full communication-relevant configuration,
+  // not just the rank count: a changed c, partitioner (different
+  // permutation and halos), or pipeline chunking (different stage tags)
+  // makes the snapshot's history incomparable even at equal p.
+  const bool same_comm_config =
+      saved.p == config_.p && saved.c == config_.c &&
+      saved.partitioner == config_.partitioner &&
+      saved.partitioner_options == config_.partitioner_options &&
+      saved.pipeline_chunks == config_.pipeline_chunks;
+  if (same_comm_config) {
+    // Adopt the snapshot's full communication history (which includes the
+    // one-time index exchange this constructor just re-recorded
+    // identically), so per-epoch averages continue exactly as in an
+    // uninterrupted run. The snapshot's own base carries over: it is
+    // nonzero when that run had itself elastically restarted.
+    cluster_->traffic() = saved_traffic;
+    rank_cpu_seconds_ = std::move(saved_cpu);
+    traffic_epoch_base_ = saved_traffic_base;
+  } else {
+    // Elastic restart: the old geometry's (src, dst) counters are
+    // meaningless under the new layout. Keep the fresh recorder (it
+    // already holds the new index exchange) and restart per-epoch
+    // accounting here.
+    traffic_epoch_base_ = epoch_;
+  }
+  finalized_epochs_ = -1;
+}
+
 const std::vector<EpochMetrics>& DistributedTrainer::train() {
   while (epoch_ < config_.gcn.epochs) run_epoch();
   finalize();
@@ -168,11 +275,14 @@ void DistributedTrainer::finalize() {
   finalized_epochs_ = epoch_;
   // Every per-epoch average below divides by the COMPLETED epoch count
   // (== result_.epochs.size()), so a run stopped early via run_epoch()
-  // stepping reports consistently.
+  // stepping reports consistently. After an elastic restore the recorder
+  // only holds post-restart traffic, so averages divide by the epochs it
+  // actually covers (epoch_ - traffic_epoch_base_).
   result_.epochs = epochs_;
 
   const TrafficRecorder traffic = cluster_->traffic();  // snapshot
-  const double inv_epochs = 1.0 / std::max(1, epoch_);
+  const int traffic_epochs = std::max(1, epoch_ - traffic_epoch_base_);
+  const double inv_epochs = 1.0 / traffic_epochs;
 
   // Per-epoch traffic: everything except setup and barriers, averaged.
   // Stage-tagged phases ("alltoall#k") aggregate under their base name;
@@ -194,7 +304,7 @@ void DistributedTrainer::finalize() {
   const StrategyContext ctx = context();
   result_.modeled_epoch =
       job_strategy_->epoch_cost(config_.cost_model, traffic, rank_cpu_seconds_,
-                                ctx, std::max(1, epoch_));
+                                ctx, traffic_epochs);
 
   const auto smoothed = job_strategy_->smooth_rank_cpu(ctx, rank_cpu_seconds_);
   double max_cpu = 0;

@@ -33,7 +33,20 @@ class DistributedTrainer final : public Trainer {
   const std::vector<EpochMetrics>& train() override;
   const TrainResult& result() override;
 
+  /// Snapshot the job: one copy of the (replicated, verified-identical)
+  /// model weights, the metric trajectory, recorded traffic, and per-rank
+  /// CPU-second accumulators. Restoring on the SAME rank count continues
+  /// bit-identically (loss trajectory, weights, per-epoch phase volumes);
+  /// restoring on a different p is an elastic restart: the graph is
+  /// re-partitioned and traffic accounting restarts at the resume epoch.
+  void save(std::ostream& out) override;
+
   const TrainConfig& config() const { return config_; }
+  /// The replicated model (every rank holds a bitwise-identical copy).
+  const GcnModel& model() const;
+
+ protected:
+  void restore(ckpt::Deserializer& d, const TrainConfig& saved) override;
 
  private:
   struct RankState;
@@ -44,6 +57,7 @@ class DistributedTrainer final : public Trainer {
   void finalize();
 
   TrainConfig config_;
+  const Dataset* dataset_;  ///< checkpoint fingerprint + elastic re-partition
 
   // The permuted problem (block rows contiguous per part).
   CsrMatrix a_;
@@ -62,6 +76,11 @@ class DistributedTrainer final : public Trainer {
   std::vector<EpochMetrics> epochs_;
   TrainResult result_;
   int epoch_ = 0;
+  /// Epochs whose traffic is NOT in this process's recorder: 0 normally
+  /// and after a same-p restore (the snapshot carries the full history);
+  /// the resume epoch after an ELASTIC restore, where the old geometry's
+  /// traffic is meaningless and accounting restarts fresh.
+  int traffic_epoch_base_ = 0;
   int finalized_epochs_ = -1;  ///< epochs covered by result_; -1 = never
 };
 

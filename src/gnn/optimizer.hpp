@@ -23,6 +23,18 @@ class Sgd {
 
 class Adam {
  public:
+  /// First/second-moment estimates of one parameter slot. Public so the
+  /// checkpoint visitors (ckpt::write_adam/read_adam_into) can snapshot
+  /// and restore the optimizer exactly — the moments and step count are
+  /// training state: dropping them changes the trajectory. The built-in
+  /// trainers step via GcnLayer::apply_gradient (plain SGD) and do not
+  /// carry Adam state; the visitors serve user training loops that do.
+  struct Moments {
+    Matrix m;
+    Matrix v;
+    std::int64_t t = 0;
+  };
+
   explicit Adam(real_t lr, real_t beta1 = 0.9f, real_t beta2 = 0.999f,
                 real_t eps = 1e-8f)
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
@@ -30,12 +42,16 @@ class Adam {
   /// `slot` identifies the parameter (one moment pair per slot).
   void step(std::size_t slot, Matrix& w, const Matrix& grad);
 
+  real_t lr() const { return lr_; }
+  real_t beta1() const { return beta1_; }
+  real_t beta2() const { return beta2_; }
+  real_t eps() const { return eps_; }
+
+  const std::vector<Moments>& moments() const { return slots_; }
+  /// Replace the full moment state (checkpoint restore).
+  void set_moments(std::vector<Moments> slots) { slots_ = std::move(slots); }
+
  private:
-  struct Moments {
-    Matrix m;
-    Matrix v;
-    std::int64_t t = 0;
-  };
   real_t lr_, beta1_, beta2_, eps_;
   std::vector<Moments> slots_;
 };

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "ckpt/state_io.hpp"
 #include "dense/gemm.hpp"
 
 namespace sagnn {
@@ -172,6 +173,59 @@ const TrainResult& SampledTrainer::result() {
 const std::vector<SampledEpochMetrics>& SampledTrainer::train_detailed() {
   while (epochs_run() < config_.epochs) (void)run_epoch_detailed();
   return detailed_;
+}
+
+void SampledTrainer::save(std::ostream& out) {
+  ckpt::Serializer s(out);
+  TrainConfig cfg;
+  cfg.gcn = config_;
+  cfg.strategy = "sampled";
+  cfg.sampling = sampling_;
+  ckpt::write_prologue(s, cfg, dataset_);
+  ckpt::write_progress(s, epochs_run(), metrics_);
+  s.begin_section("model");
+  ckpt::write_model(s, model_);
+  s.end_section();
+  s.begin_section("rng");
+  ckpt::write_rng(s, rng_);
+  s.end_section();
+  s.begin_section("sampled_metrics");
+  s.write_u64(detailed_.size());
+  for (const SampledEpochMetrics& m : detailed_) {
+    s.write_f64(m.loss);
+    s.write_f64(m.train_accuracy);
+    s.write_i64(m.sampled_edges);
+    s.write_i64(m.batches);
+  }
+  s.end_section();
+  s.finish();
+}
+
+void SampledTrainer::restore(ckpt::Deserializer& d, const TrainConfig& /*saved*/) {
+  const int epoch = ckpt::read_progress(d, metrics_);
+  d.enter_section("model");
+  ckpt::read_model_into(d, model_);
+  d.leave_section();
+  d.enter_section("rng");
+  rng_ = ckpt::read_rng(d);
+  d.leave_section();
+  d.enter_section("sampled_metrics");
+  detailed_ =
+      d.read_vector<SampledEpochMetrics>([](ckpt::Deserializer& x) {
+        SampledEpochMetrics m;
+        m.loss = x.read_f64();
+        m.train_accuracy = x.read_f64();
+        m.sampled_edges = x.read_i64();
+        m.batches = x.read_i64();
+        return m;
+      });
+  d.leave_section();
+  if (detailed_.size() != static_cast<std::size_t>(epoch)) {
+    throw ckpt::CheckpointFormatError(
+        "section 'sampled_metrics': detailed trajectory length " +
+        std::to_string(detailed_.size()) + " disagrees with epoch count " +
+        std::to_string(epoch));
+  }
 }
 
 LossStats SampledTrainer::evaluate() const {

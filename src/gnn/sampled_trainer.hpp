@@ -50,6 +50,11 @@ class SampledTrainer final : public Trainer {
   const std::vector<EpochMetrics>& train() override;
   const TrainResult& result() override;
 
+  /// Snapshot model weights, the mini-batch RNG stream, and both metric
+  /// trajectories (common + sampling counters). Resume continues the
+  /// shuffles and neighbor draws bit-identically.
+  void save(std::ostream& out) override;
+
   /// Same epoch step, returning the sampling-specific counters.
   SampledEpochMetrics run_epoch_detailed();
   /// Remaining epochs with detailed metrics for every epoch run so far.
@@ -60,6 +65,9 @@ class SampledTrainer final : public Trainer {
   LossStats evaluate() const;
 
   const GcnModel& model() const { return model_; }
+
+ protected:
+  void restore(ckpt::Deserializer& d, const TrainConfig& saved) override;
 
  private:
   /// One layer of the sampled computation graph: a block matrix mapping

@@ -1,5 +1,7 @@
 #include "gnn/serial_trainer.hpp"
 
+#include "ckpt/state_io.hpp"
+
 namespace sagnn {
 
 SerialTrainer::SerialTrainer(const Dataset& dataset, GcnConfig config)
@@ -54,6 +56,26 @@ const std::vector<EpochMetrics>& SerialTrainer::train() {
 const TrainResult& SerialTrainer::result() {
   result_.epochs = metrics_;
   return result_;
+}
+
+void SerialTrainer::save(std::ostream& out) {
+  ckpt::Serializer s(out);
+  TrainConfig cfg;
+  cfg.gcn = config_;
+  cfg.strategy = "serial";
+  ckpt::write_prologue(s, cfg, dataset_);
+  ckpt::write_progress(s, epoch_, metrics_);
+  s.begin_section("model");
+  ckpt::write_model(s, model_);
+  s.end_section();
+  s.finish();
+}
+
+void SerialTrainer::restore(ckpt::Deserializer& d, const TrainConfig& /*saved*/) {
+  epoch_ = ckpt::read_progress(d, metrics_);
+  d.enter_section("model");
+  ckpt::read_model_into(d, model_);
+  d.leave_section();
 }
 
 }  // namespace sagnn

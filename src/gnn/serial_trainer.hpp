@@ -27,11 +27,17 @@ class SerialTrainer final : public Trainer {
 
   const TrainResult& result() override;
 
+  /// Snapshot epoch count, metric trajectory, and model weights.
+  void save(std::ostream& out) override;
+
   /// Forward pass only; returns the logits (used by tests/examples).
   Matrix forward();
 
   const GcnModel& model() const { return model_; }
   GcnModel& model_mut() { return model_; }
+
+ protected:
+  void restore(ckpt::Deserializer& d, const TrainConfig& saved) override;
 
  private:
   const Dataset& dataset_;

@@ -1,5 +1,8 @@
 #include "gnn/trainer.hpp"
 
+#include <istream>
+
+#include "ckpt/state_io.hpp"
 #include "common/parallel.hpp"
 #include "gnn/distributed_trainer.hpp"
 #include "gnn/sampled_trainer.hpp"
@@ -8,8 +11,7 @@
 
 namespace sagnn {
 
-std::unique_ptr<Trainer> TrainerBuilder::build() const {
-  TrainConfig cfg = config_;
+std::unique_ptr<Trainer> TrainerBuilder::instantiate(TrainConfig cfg) const {
   const Dataset& ds = *dataset_;
   if (cfg.threads >= 1) set_parallel_threads(cfg.threads);
   if (cfg.gcn.dims.empty()) {
@@ -25,6 +27,49 @@ std::unique_ptr<Trainer> TrainerBuilder::build() const {
   // Any other name resolves against the distribution-strategy registry;
   // unknown names raise std::invalid_argument listing the registered ones.
   return std::make_unique<DistributedTrainer>(ds, std::move(cfg));
+}
+
+std::unique_ptr<Trainer> TrainerBuilder::build() const {
+  return instantiate(config_);
+}
+
+std::unique_ptr<Trainer> TrainerBuilder::resume(std::istream& in) const {
+  ckpt::Deserializer d(in);
+  d.enter_section("config");
+  TrainConfig cfg = ckpt::read_train_config(d);
+  d.leave_section();
+  d.enter_section("dataset");
+  ckpt::check_dataset_fingerprint(d, *dataset_);
+  d.leave_section();
+  const TrainConfig saved = cfg;  // pre-override snapshot for restore()
+
+  // The checkpoint's configuration is authoritative; only knobs the caller
+  // explicitly set on this builder override it (elastic restart et al.).
+  if (set_.strategy && config_.strategy != cfg.strategy) {
+    throw ckpt::CheckpointMismatchError(
+        "checkpoint was trained with strategy '" + cfg.strategy +
+        "', resume requests '" + config_.strategy +
+        "' — changing the algorithm mid-run is not a resume");
+  }
+  if (set_.ranks) {
+    cfg.p = config_.p;
+    // ranks(p', 0) overrides only the rank count and keeps the
+    // checkpoint's replication factor.
+    if (config_.c >= 1) cfg.c = config_.c;
+  }
+  if (set_.partitioner) {
+    cfg.partitioner = config_.partitioner;
+    cfg.partitioner_options = config_.partitioner_options;
+  }
+  if (set_.threads) cfg.threads = config_.threads;
+  if (set_.pipeline_chunks) cfg.pipeline_chunks = config_.pipeline_chunks;
+  if (set_.epochs) cfg.gcn.epochs = config_.gcn.epochs;
+  if (set_.cost_model) cfg.cost_model = config_.cost_model;
+
+  std::unique_ptr<Trainer> trainer = instantiate(cfg);
+  trainer->restore(d, saved);
+  d.finish();
+  return trainer;
 }
 
 }  // namespace sagnn

@@ -24,6 +24,7 @@
 // so a new strategy class becomes selectable here without touching any
 // trainer or driver code.
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,12 @@
 #include "simcomm/cost_model.hpp"
 
 namespace sagnn {
+
+namespace ckpt {
+class Deserializer;
+}  // namespace ckpt
+
+struct TrainConfig;
 
 /// Global per-epoch training metrics (identical across ranks).
 struct EpochMetrics {
@@ -122,6 +129,22 @@ class Trainer {
 
   /// Aggregate result for the epochs executed so far.
   virtual const TrainResult& result() = 0;
+
+  /// Snapshot the complete training state (configuration, model weights,
+  /// RNG/optimizer state, metric trajectory, recorded traffic) to the
+  /// versioned binary checkpoint format (src/ckpt/). Call between epochs;
+  /// TrainerBuilder::resume() reconstructs a trainer that continues the
+  /// run bit-identically to one that was never interrupted.
+  virtual void save(std::ostream& out) = 0;
+
+ protected:
+  /// Restore path: the deserializer is positioned after the config and
+  /// dataset sections (already consumed by TrainerBuilder::resume()).
+  /// `saved` is the checkpoint's own configuration BEFORE builder
+  /// overrides — trainers compare it against their merged config to tell
+  /// an exact same-geometry resume from an elastic restart.
+  virtual void restore(ckpt::Deserializer& d, const TrainConfig& saved) = 0;
+  friend class TrainerBuilder;
 };
 
 /// One configuration record subsuming the per-mode option structs.
@@ -158,7 +181,9 @@ class TrainerBuilder {
  public:
   explicit TrainerBuilder(const Dataset& dataset) : dataset_(&dataset) {}
 
-  /// Replace the whole configuration record.
+  /// Replace the whole configuration record. (Does not count as an
+  /// explicit override for resume() — use the individual setters to
+  /// deviate from a checkpoint's configuration.)
   TrainerBuilder& config(TrainConfig cfg) {
     config_ = std::move(cfg);
     return *this;
@@ -171,30 +196,36 @@ class TrainerBuilder {
   /// Execution mode / distribution strategy by registry name.
   TrainerBuilder& strategy(std::string name) {
     config_.strategy = std::move(name);
+    set_.strategy = true;
     return *this;
   }
   TrainerBuilder& ranks(int p, int c = 1) {
     config_.p = p;
     config_.c = c;
+    set_.ranks = true;
     return *this;
   }
   /// Host thread-pool size (see TrainConfig::threads; 0 = leave as-is).
   TrainerBuilder& threads(int n) {
     config_.threads = n;
+    set_.threads = true;
     return *this;
   }
   TrainerBuilder& partitioner(std::string name, PartitionerOptions opts = {}) {
     config_.partitioner = std::move(name);
     config_.partitioner_options = opts;
+    set_.partitioner = true;
     return *this;
   }
   TrainerBuilder& cost_model(const CostModel& model) {
     config_.cost_model = model;
+    set_.cost_model = true;
     return *this;
   }
   /// Column-chunk count for pipelined strategies (>= 1).
   TrainerBuilder& pipeline_chunks(int chunks) {
     config_.pipeline_chunks = chunks;
+    set_.pipeline_chunks = true;
     return *this;
   }
   TrainerBuilder& sampling(SamplingConfig cfg) {
@@ -203,6 +234,7 @@ class TrainerBuilder {
   }
   TrainerBuilder& epochs(int n) {
     config_.gcn.epochs = n;
+    set_.epochs = true;
     return *this;
   }
   TrainerBuilder& learning_rate(real_t lr) {
@@ -217,9 +249,39 @@ class TrainerBuilder {
   /// dimension violations raise Error (as the per-mode constructors do).
   std::unique_ptr<Trainer> build() const;
 
+  /// Reconstruct a trainer from a checkpoint written by Trainer::save()
+  /// and continue the run bit-identically. The checkpoint's configuration
+  /// is authoritative; knobs explicitly set on this builder override it:
+  ///
+  ///   * epochs(n)      — extend or shorten the remaining run,
+  ///   * ranks(p', c')  — ELASTIC RESTART: the graph is re-partitioned for
+  ///                      the new geometry and the replicated weights
+  ///                      resume on p' ranks (c' = 0 keeps the
+  ///                      checkpoint's replication factor),
+  ///   * partitioner()/threads()/pipeline_chunks()/cost_model() — likewise.
+  ///
+  /// strategy() may be set but must match the checkpoint's strategy
+  /// (changing the algorithm mid-run is a different experiment);
+  /// a mismatch throws ckpt::CheckpointMismatchError. A checkpoint taken
+  /// on a different dataset is rejected the same way. Damaged streams
+  /// throw the typed errors of ckpt/errors.hpp.
+  std::unique_ptr<Trainer> resume(std::istream& in) const;
+
  private:
+  std::unique_ptr<Trainer> instantiate(TrainConfig cfg) const;
+
   const Dataset* dataset_;
   TrainConfig config_;
+  /// Which knobs were explicitly set (resume() override tracking).
+  struct {
+    bool strategy = false;
+    bool ranks = false;
+    bool partitioner = false;
+    bool threads = false;
+    bool pipeline_chunks = false;
+    bool epochs = false;
+    bool cost_model = false;
+  } set_;
 };
 
 }  // namespace sagnn

@@ -50,6 +50,8 @@ struct PartitionerOptions {
   int refine_passes = 8;     ///< max refinement passes per level
   std::uint64_t seed = 0x5a5a5a5aull;
   vid_t coarsen_target_per_part = 30;  ///< stop coarsening near k*this vertices
+
+  bool operator==(const PartitionerOptions&) const = default;
 };
 
 class Partitioner {

@@ -102,7 +102,9 @@ class Comm {
     auto raw = world_->recv(world_rank(rank_), world_rank(src), stamp(tag));
     SAGNN_CHECK(raw.size() % sizeof(T) == 0);
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // Zero-byte messages are legal (empty halo); memcpy's pointer args
+    // must not be null even then.
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -111,7 +113,7 @@ class Comm {
   void recv_into(int src, long tag, std::span<T> out) {
     auto raw = world_->recv(world_rank(rank_), world_rank(src), stamp(tag));
     SAGNN_REQUIRE(raw.size() == out.size_bytes(), "recv_into size mismatch");
-    std::memcpy(out.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
   }
 
   /// Dissemination barrier over this communicator. All members must call it

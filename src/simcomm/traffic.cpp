@@ -143,6 +143,14 @@ std::vector<std::string> TrafficRecorder::phase_names() const {
   return names;
 }
 
+void TrafficRecorder::set_phase(const std::string& name, PhaseTraffic traffic) {
+  SAGNN_REQUIRE(traffic.p == p_,
+                "set_phase geometry mismatch: recorder p=" + std::to_string(p_) +
+                    ", phase p=" + std::to_string(traffic.p));
+  std::lock_guard lock(mutex_);
+  phases_.insert_or_assign(name, std::move(traffic));
+}
+
 void TrafficRecorder::reset() {
   std::lock_guard lock(mutex_);
   phases_.clear();

@@ -81,6 +81,10 @@ class TrafficRecorder {
   /// phases).
   PhaseTraffic phase_total(const std::string& base) const;
 
+  /// Overwrite one phase's counters wholesale (checkpoint restore). The
+  /// PhaseTraffic geometry must match this recorder's p.
+  void set_phase(const std::string& name, PhaseTraffic traffic);
+
   void reset();
   int p() const { return p_; }
 

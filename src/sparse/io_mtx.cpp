@@ -1,6 +1,8 @@
 #include "sparse/io_mtx.hpp"
 
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -11,42 +13,91 @@ std::string lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return s;
 }
+
+[[noreturn]] void fail_at(long long line_no, const std::string& what) {
+  throw Error("MatrixMarket line " + std::to_string(line_no) + ": " + what);
+}
+
+/// True when the line holds only whitespace after position `pos` (used to
+/// reject trailing junk on the size and entry lines).
+bool only_whitespace_left(std::istringstream& s) {
+  std::string rest;
+  s >> rest;
+  return rest.empty();
+}
 }  // namespace
 
 CooMatrix read_matrix_market(std::istream& in) {
   std::string line;
+  long long line_no = 0;
   SAGNN_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty MatrixMarket stream");
+  ++line_no;
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  SAGNN_REQUIRE(banner == "%%MatrixMarket", "missing MatrixMarket banner");
-  SAGNN_REQUIRE(lower(object) == "matrix" && lower(format) == "coordinate",
-                "only coordinate matrices are supported");
+  if (banner != "%%MatrixMarket") fail_at(line_no, "missing MatrixMarket banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    fail_at(line_no, "only coordinate matrices are supported (got object '" +
+                         object + "', format '" + format + "')");
+  }
   field = lower(field);
   symmetry = lower(symmetry);
-  SAGNN_REQUIRE(field == "real" || field == "integer" || field == "pattern",
-                "unsupported MatrixMarket field: " + field);
-  SAGNN_REQUIRE(symmetry == "general" || symmetry == "symmetric",
-                "unsupported MatrixMarket symmetry: " + symmetry);
+  if (field != "real" && field != "integer" && field != "pattern") {
+    fail_at(line_no, "unsupported MatrixMarket field: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    fail_at(line_no, "unsupported MatrixMarket symmetry: " + symmetry);
+  }
 
-  // Skip comments.
+  // Skip comments; the first non-comment line is the size line.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    ++line_no;
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
+  }
+  if (!have_size_line) {
+    fail_at(line_no + 1, "stream ended before the size line");
   }
   std::istringstream dims(line);
   long long rows = 0, cols = 0, nnz = 0;
-  dims >> rows >> cols >> nnz;
-  SAGNN_REQUIRE(rows > 0 && cols > 0 && nnz >= 0, "bad MatrixMarket size line");
+  if (!(dims >> rows >> cols >> nnz) || !only_whitespace_left(dims)) {
+    fail_at(line_no, "malformed size line '" + line +
+                         "' (expected '<rows> <cols> <nnz>')");
+  }
+  if (rows <= 0 || cols <= 0 || nnz < 0) {
+    fail_at(line_no, "non-positive dimensions in size line '" + line + "'");
+  }
 
   CooMatrix coo(static_cast<vid_t>(rows), static_cast<vid_t>(cols));
   for (long long k = 0; k < nnz; ++k) {
-    SAGNN_REQUIRE(static_cast<bool>(std::getline(in, line)),
-                  "MatrixMarket stream truncated");
+    if (!std::getline(in, line)) {
+      fail_at(line_no + 1, "stream truncated: expected " + std::to_string(nnz) +
+                               " entries, got " + std::to_string(k));
+    }
+    ++line_no;
     std::istringstream es(line);
     long long r = 0, c = 0;
     double v = 1.0;
-    es >> r >> c;
-    if (field != "pattern") es >> v;
+    if (!(es >> r >> c)) {
+      fail_at(line_no, "malformed entry '" + line + "'");
+    }
+    if (field != "pattern") {
+      if (!(es >> v)) {
+        fail_at(line_no, "entry '" + line + "' is missing its " + field +
+                             " value");
+      }
+    }
+    if (!only_whitespace_left(es)) {
+      fail_at(line_no, "trailing junk on entry '" + line + "'");
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      fail_at(line_no, "index (" + std::to_string(r) + ", " + std::to_string(c) +
+                           ") outside the declared " + std::to_string(rows) +
+                           " x " + std::to_string(cols) + " shape");
+    }
     coo.add(static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1),
             static_cast<real_t>(v));
     if (symmetry == "symmetric" && r != c) {
@@ -67,6 +118,10 @@ CooMatrix read_matrix_market_file(const std::string& path) {
 void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
   out << "%%MatrixMarket matrix coordinate real general\n";
   out << a.n_rows() << ' ' << a.n_cols() << ' ' << a.nnz() << '\n';
+  // max_digits10 digits make the decimal round-trip exact: every float
+  // value read back equals the one written, bit for bit.
+  const auto default_precision = out.precision();
+  out.precision(std::numeric_limits<real_t>::max_digits10);
   for (vid_t r = 0; r < a.n_rows(); ++r) {
     const auto cols = a.row_cols(r);
     const auto vals = a.row_vals(r);
@@ -74,6 +129,7 @@ void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
       out << (r + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
     }
   }
+  out.precision(default_precision);
 }
 
 void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {

@@ -15,6 +15,14 @@ DistTrainerOptions base_options(const Dataset& ds, int epochs = 3) {
   return opt;
 }
 
+// train_distributed() is deprecated; the historical options record still
+// maps onto the builder API, which is what these plumbing tests exercise.
+TrainResult run_distributed(const Dataset& ds, const DistTrainerOptions& opt) {
+  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+  trainer->train();
+  return trainer->result();
+}
+
 TEST(DistTrainer, RunsAllAlgorithmsAndPartitioners) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
   for (DistAlgo algo : {DistAlgo::k1dOblivious, DistAlgo::k1dSparse,
@@ -26,7 +34,7 @@ TEST(DistTrainer, RunsAllAlgorithmsAndPartitioners) {
       opt.p = 4;
       opt.c = is_15d(algo) ? 2 : 1;
       opt.partitioner = partitioner;
-      const auto result = train_distributed(ds, opt);
+      const auto result = run_distributed(ds, opt);
       ASSERT_EQ(result.epochs.size(), 2u);
       EXPECT_GT(result.epochs[0].loss, 0.0);
       EXPECT_GE(result.modeled_epoch.total(), 0.0);
@@ -40,7 +48,7 @@ TEST(DistTrainer, LossDecreases) {
   opt.algo = DistAlgo::k1dSparse;
   opt.p = 4;
   opt.partitioner = "metis";
-  const auto result = train_distributed(ds, opt);
+  const auto result = run_distributed(ds, opt);
   EXPECT_LT(result.epochs.back().loss, 0.9 * result.epochs.front().loss);
 }
 
@@ -50,12 +58,12 @@ TEST(DistTrainer, PhaseVolumesMatchAlgorithmKind) {
   opt.p = 4;
 
   opt.algo = DistAlgo::k1dOblivious;
-  const auto oblivious = train_distributed(ds, opt);
+  const auto oblivious = run_distributed(ds, opt);
   EXPECT_GT(oblivious.phase_volumes.at("bcast").megabytes_per_epoch, 0.0);
   EXPECT_EQ(oblivious.phase_volumes.count("alltoall"), 0u);
 
   opt.algo = DistAlgo::k1dSparse;
-  const auto sparse = train_distributed(ds, opt);
+  const auto sparse = run_distributed(ds, opt);
   EXPECT_GT(sparse.phase_volumes.at("alltoall").megabytes_per_epoch, 0.0);
   EXPECT_EQ(sparse.phase_volumes.count("bcast"), 0u);
   EXPECT_GT(sparse.setup_megabytes, 0.0);
@@ -71,12 +79,12 @@ TEST(DistTrainer, SparsityAwareCommunicatesLessWithPartitioning) {
   opt.algo = DistAlgo::k1dOblivious;
   opt.partitioner = "block";
   const double oblivious_mb =
-      train_distributed(ds, opt).phase_volumes.at("bcast").megabytes_per_epoch;
+      run_distributed(ds, opt).phase_volumes.at("bcast").megabytes_per_epoch;
 
   opt.algo = DistAlgo::k1dSparse;
   opt.partitioner = "gvb";
   const double sa_mb =
-      train_distributed(ds, opt).phase_volumes.at("alltoall").megabytes_per_epoch;
+      run_distributed(ds, opt).phase_volumes.at("alltoall").megabytes_per_epoch;
 
   EXPECT_LT(sa_mb, oblivious_mb);
 }
@@ -87,7 +95,7 @@ TEST(DistTrainer, VolumeModelPopulated) {
   opt.algo = DistAlgo::k1dSparse;
   opt.p = 4;
   opt.partitioner = "metis";
-  const auto result = train_distributed(ds, opt);
+  const auto result = run_distributed(ds, opt);
   EXPECT_EQ(result.volume_model.k, 4);
   EXPECT_GT(result.volume_model.total_rows(), 0u);
   EXPECT_GE(result.partition_wall_seconds, 0.0);
@@ -100,7 +108,7 @@ TEST(DistTrainer, Runs2dAlgorithms) {
     opt.algo = algo;
     opt.p = 9;  // 3x3 grid
     opt.partitioner = "metis";
-    const auto result = train_distributed(ds, opt);
+    const auto result = run_distributed(ds, opt);
     EXPECT_EQ(result.epochs.size(), 2u);
     // The 2D algorithm always pays its Z all-reduce.
     EXPECT_GT(result.phase_volumes.at("allreduce").megabytes_per_epoch, 0.0);
@@ -112,7 +120,7 @@ TEST(DistTrainer, Rejects2dNonSquare) {
   DistTrainerOptions opt = base_options(ds, 1);
   opt.algo = DistAlgo::k2dSparse;
   opt.p = 8;
-  EXPECT_THROW(train_distributed(ds, opt), Error);
+  EXPECT_THROW(run_distributed(ds, opt), Error);
 }
 
 TEST(DistTrainer, RejectsBadGrid) {
@@ -121,14 +129,14 @@ TEST(DistTrainer, RejectsBadGrid) {
   opt.algo = DistAlgo::k15dSparse;
   opt.p = 6;
   opt.c = 2;  // c^2 = 4 does not divide 6
-  EXPECT_THROW(train_distributed(ds, opt), Error);
+  EXPECT_THROW(run_distributed(ds, opt), Error);
 }
 
 TEST(DistTrainer, RejectsMismatchedGcnDims) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
   DistTrainerOptions opt = base_options(ds, 1);
   opt.gcn.dims.back() += 1;
-  EXPECT_THROW(train_distributed(ds, opt), Error);
+  EXPECT_THROW(run_distributed(ds, opt), Error);
 }
 
 TEST(DistTrainer, AlgoNames) {

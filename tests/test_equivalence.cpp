@@ -45,7 +45,9 @@ TEST_P(DistMatchesSerial, LossTrajectoriesAgree) {
   opt.p = c.p;
   opt.c = c.c;
   opt.partitioner = c.partitioner;
-  const auto dist = train_distributed(ds, opt);
+  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+  trainer->train();
+  const TrainResult dist = trainer->result();
 
   ASSERT_EQ(dist.epochs.size(), serial_metrics.size());
   for (std::size_t e = 0; e < serial_metrics.size(); ++e) {
@@ -148,10 +150,14 @@ TEST(Equivalence, ObliviousAndSparseProduceSameTrajectory) {
   opt.p = 4;
   opt.partitioner = "metis";
 
-  opt.algo = DistAlgo::k1dOblivious;
-  const auto oblivious = train_distributed(ds, opt);
-  opt.algo = DistAlgo::k1dSparse;
-  const auto sparse = train_distributed(ds, opt);
+  auto run = [&](DistAlgo algo) {
+    opt.algo = algo;
+    auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+    trainer->train();
+    return trainer->result();
+  };
+  const TrainResult oblivious = run(DistAlgo::k1dOblivious);
+  const TrainResult sparse = run(DistAlgo::k1dSparse);
 
   for (std::size_t e = 0; e < oblivious.epochs.size(); ++e) {
     EXPECT_NEAR(oblivious.epochs[e].loss, sparse.epochs[e].loss, 1e-4);

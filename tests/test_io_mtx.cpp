@@ -1,6 +1,8 @@
 // Matrix Market round trips and format handling.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -54,6 +56,29 @@ TEST(IoMtx, ParsesIntegerField) {
   EXPECT_FLOAT_EQ(a.at(0, 1), 42.0f);
 }
 
+TEST(IoMtx, RoundTripIsBitExactForAwkwardValues) {
+  // Regression: the writer used to emit 6 significant digits, silently
+  // perturbing values like the 1/sqrt(d_i d_j) entries of a GCN-normalized
+  // adjacency. max_digits10 output must round-trip every float exactly.
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0f / 3.0f);
+  coo.add(0, 2, 0.12345678f);
+  coo.add(1, 1, 1.0f / std::sqrt(7.0f));
+  coo.add(2, 0, -2.718281828f);
+  coo.add(2, 2, 1e-38f);  // near the denormal boundary
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const CsrMatrix b = CsrMatrix::from_coo(read_matrix_market(ss));
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t k = 0; k < a.vals().size(); ++k) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(a.vals()[k]),
+              std::bit_cast<std::uint32_t>(b.vals()[k]))
+        << "value " << k << " did not survive the text round trip";
+  }
+}
+
 TEST(IoMtx, RejectsMissingBanner) {
   std::stringstream ss("3 3 0\n");
   EXPECT_THROW(read_matrix_market(ss), Error);
@@ -69,6 +94,90 @@ TEST(IoMtx, RejectsTruncatedStream) {
       "%%MatrixMarket matrix coordinate real general\n"
       "3 3 2\n"
       "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(IoMtx, TruncationErrorNamesLineAndCounts) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 2 entries, got 1"), std::string::npos) << what;
+  }
+}
+
+TEST(IoMtx, MalformedSizeLineNamesTheLine) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 three 2\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoMtx, MalformedEntryNamesTheLine) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n"
+      "2 x 1.0\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  }
+}
+
+TEST(IoMtx, MissingValueNamesTheLine) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("missing"), std::string::npos) << what;
+  }
+}
+
+TEST(IoMtx, OutOfRangeIndexNamesTheLine) {
+  // This used to misparse silently into a bogus CooMatrix add; now it is
+  // rejected with the offending coordinates and the declared shape.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "4 1 1.0\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("(4, 1)"), std::string::npos) << what;
+  }
+}
+
+TEST(IoMtx, CommentsOnlyStreamFailsCleanly) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% only comments\n"
+      "% no size line\n");
   EXPECT_THROW(read_matrix_market(ss), Error);
 }
 

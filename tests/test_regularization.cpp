@@ -80,7 +80,9 @@ TEST(Regularization, DistributedMatchesSerialWithDropoutAndDecay) {
     opt.p = 4;
     opt.c = is_15d(algo) ? 2 : 1;
     opt.partitioner = "metis";
-    const auto dist = train_distributed(ds, opt);
+    auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+    trainer->train();
+    const TrainResult dist = trainer->result();
     for (std::size_t e = 0; e < sm.size(); ++e) {
       EXPECT_NEAR(dist.epochs[e].loss, sm[e].loss, 5e-3 * std::max(1.0, sm[e].loss))
           << to_string(algo) << " epoch " << e;

@@ -68,7 +68,9 @@ TEST(VolumeCrossCheck, TrainerReportsConsistentAlltoallVolume) {
   opt.p = 4;
   opt.partitioner = "metis";
   opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 2);
-  const auto result = train_distributed(ds, opt);
+  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+  trainer->train();
+  const TrainResult result = trainer->result();
 
   // Forward SpMMs carry widths {f0, 16, 16}; backward carries {16, 16}.
   const double rows = static_cast<double>(result.volume_model.total_rows());
