@@ -1,0 +1,118 @@
+# Doc-snippet compile check (ctest target "doc_snippets"): extract every
+# fenced ```cpp block from docs/*.md and README.md and compile it against
+# the real headers with -fsyntax-only, so the documentation can never rot
+# ahead of the API.
+#
+# Convention: ```cpp blocks are COMPILED; intentionally-incomplete
+# illustrations (pseudo-code, sketches referencing undefined names) use
+# the ```c++ fence, which renders identically but is skipped here.
+#
+# Each snippet becomes its own translation unit. Lines starting with
+# #include are hoisted above the harness prelude; the remaining statement
+# lines are wrapped in a function whose parameters provide the free names
+# the docs use by convention (dataset, config, trainer, cost, ...). A
+# #line directive points compiler errors back at the .md source line.
+#
+# Usage:
+#   cmake -DREPO_DIR=... -DOUT_DIR=... -DCXX=... -P CheckDocSnippets.cmake
+
+foreach(var REPO_DIR OUT_DIR CXX)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckDocSnippets.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(GLOB doc_files ${REPO_DIR}/docs/*.md)
+list(APPEND doc_files ${REPO_DIR}/README.md)
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(prelude "
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include \"bench_support/experiment.hpp\"
+#include \"gnn/strategy.hpp\"
+#include \"gnn/trainer.hpp\"
+#include \"graph/datasets.hpp\"
+#include \"simcomm/cost_model.hpp\"
+")
+
+set(harness_open "
+void doc_snippet([[maybe_unused]] const sagnn::Dataset& dataset,
+                 [[maybe_unused]] sagnn::GcnConfig config,
+                 [[maybe_unused]] std::unique_ptr<sagnn::Trainer>& trainer,
+                 [[maybe_unused]] sagnn::EpochCost cost,
+                 [[maybe_unused]] sagnn::TrainResult result) {
+  {
+")
+set(harness_close "
+  }
+}
+")
+
+set(total 0)
+set(failed 0)
+foreach(doc ${doc_files})
+  if(NOT EXISTS ${doc})
+    continue()
+  endif()
+  get_filename_component(doc_name ${doc} NAME_WE)
+  file(READ ${doc} content)
+  # Line-wise state machine: collect the lines between ```cpp and ```.
+  string(REPLACE ";" "\\;" content "${content}")
+  string(REGEX REPLACE "\r?\n" ";" lines "${content}")
+  set(in_snippet FALSE)
+  set(snippet_id 0)
+  set(line_no 0)
+  foreach(line IN LISTS lines)
+    math(EXPR line_no "${line_no} + 1")
+    if(NOT in_snippet)
+      if(line STREQUAL "```cpp")
+        set(in_snippet TRUE)
+        set(snippet "")
+        set(snippet_includes "")
+        math(EXPR snippet_start "${line_no} + 1")
+      endif()
+    elseif(line MATCHES "^```")
+      set(in_snippet FALSE)
+      math(EXPR snippet_id "${snippet_id} + 1")
+      math(EXPR total "${total} + 1")
+      set(tu ${OUT_DIR}/${doc_name}_${snippet_id}.cpp)
+      file(WRITE ${tu}
+           "${prelude}${snippet_includes}${harness_open}"
+           "#line ${snippet_start} \"${doc}\"\n${snippet}${harness_close}")
+      execute_process(
+        COMMAND ${CXX} -std=c++20 -fsyntax-only -I${REPO_DIR}/src ${tu}
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE err)
+      if(NOT rc EQUAL 0)
+        math(EXPR failed "${failed} + 1")
+        message(SEND_ERROR
+                "doc snippet ${doc_name}#${snippet_id} (${doc}:${snippet_start}) "
+                "does not compile:\n${err}")
+      endif()
+    else()
+      string(REPLACE "\\;" ";" code_line "${line}")
+      if(code_line MATCHES "^[ \t]*#include")
+        string(APPEND snippet_includes "${code_line}\n")
+      else()
+        string(APPEND snippet "${code_line}\n")
+      endif()
+    endif()
+  endforeach()
+  if(in_snippet)
+    message(SEND_ERROR "unterminated \`\`\`cpp fence in ${doc}")
+  endif()
+endforeach()
+
+if(failed GREATER 0)
+  message(FATAL_ERROR "${failed} of ${total} doc snippets failed to compile")
+endif()
+if(total EQUAL 0)
+  message(FATAL_ERROR "no \`\`\`cpp snippets found — fence convention broken?")
+endif()
+message(STATUS "all ${total} doc snippets compile")

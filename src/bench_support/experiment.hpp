@@ -20,7 +20,7 @@ struct ExperimentSpec {
   int epochs = 2;
   /// Host thread-pool size (TrainConfig::threads; 0 = leave as-is).
   int threads = 0;
-  /// Column chunks for pipelined strategies ("1d-overlap").
+  /// Column chunks for pipelined strategies ("1d-overlap", "1.5d-overlap").
   int pipeline_chunks = 4;
   /// Layer widths etc.; dims are auto-derived from the dataset when empty.
   GcnConfig gcn;

@@ -52,6 +52,26 @@ class DistSpmm15d {
   /// bitwise identical across each grid row.
   Matrix multiply(const Matrix& h_local, double* cpu_seconds = nullptr);
 
+  /// Chunked-pipelining multiply (sparsity-aware mode only): H is split
+  /// into `chunks` column chunks; the grid-column alltoallv of chunk k+1
+  /// is issued before the local SpMM of chunk k, exactly as
+  /// DistSpmm1d::multiply_pipelined chunks the 1D exchange. The grid-row
+  /// partial-sum all-reduce stays one full-width collective AFTER the last
+  /// chunk — splitting it per chunk would reorder each element's
+  /// cross-replica additions (the ring schedule assigns chunks by buffer
+  /// offset) and break bitwise parity with multiply().
+  ///
+  /// `stage_counter`, when non-null, is the epoch-wide pipeline-stage
+  /// cursor of a cross-layer schedule: chunk k's traffic is recorded under
+  /// stage *stage_counter + k, the trailing all-reduce under the next
+  /// stage, and the counter advances past them — so the first exchange of
+  /// the NEXT propagate occupies the pipeline slot right after this one's
+  /// last SpMM chunk (cross-layer latency hiding). A null counter records
+  /// untagged bulk-synchronous phases; with chunks == 1 that is exactly
+  /// multiply(), which delegates here.
+  Matrix multiply_pipelined(const Matrix& h_local, int chunks,
+                            int* stage_counter, double* cpu_seconds = nullptr);
+
  private:
   bool assigned(int j) const { return j % layout_.s == grid_col_; }
 

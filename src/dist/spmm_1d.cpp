@@ -103,14 +103,13 @@ Matrix DistSpmm1d::multiply_pipelined(Comm& comm, const Matrix& h_local,
       }
     }
     if (cpu != nullptr) *cpu += pack_timer.seconds();
-    // Distinct tag bases for up to 127 in-flight chunks, staying inside
-    // the 1<<20 window reserved per collective (127 * 8192 + p < 1<<20);
-    // chunks beyond that reuse a base, which stays safe because recv
-    // matches FIFO per (src, tag).
+    // Per-stage tag windows shared with the 1.5D pipelined multiply —
+    // see coll_detail::alltoall_stage_tag.
     return alltoallv<real_t>(
         comm, send,
         chunked ? TrafficRecorder::stage_phase("alltoall", k) : "alltoall",
-        coll_detail::kAlltoallTag + (chunked ? (1 + k % 127) * 8192L : 0L));
+        chunked ? coll_detail::alltoall_stage_tag(k)
+                : coll_detail::kAlltoallTag);
   };
 
   // Own block: gather the full-width rows once, slice per chunk below.

@@ -91,6 +91,9 @@ EpochMetrics DistributedTrainer::run_epoch() {
   EpochMetrics metrics;
   cluster_->run([&](Comm& comm) {
     RankState& st = *states_[static_cast<std::size_t>(comm.rank())];
+    // Cross-layer pipelined strategies reset their epoch-wide stage
+    // cursor here, so every epoch tags the same stage sequence.
+    st.strategy->begin_epoch();
     double* cpu = &rank_cpu_seconds_[static_cast<std::size_t>(comm.rank())];
     Comm& reduce_comm = st.strategy->reduce_comm();
     GcnModel& model = st.model;
@@ -260,7 +263,10 @@ void DistributedTrainer::restore(ckpt::Deserializer& d,
 }
 
 const std::vector<EpochMetrics>& DistributedTrainer::train() {
-  while (epoch_ < config_.gcn.epochs) run_epoch();
+  while (epoch_ < config_.gcn.epochs) {
+    run_epoch();
+    maybe_auto_checkpoint(epoch_);
+  }
   finalize();
   return epochs_;
 }

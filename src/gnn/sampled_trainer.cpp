@@ -161,7 +161,10 @@ EpochMetrics SampledTrainer::run_epoch() {
 }
 
 const std::vector<EpochMetrics>& SampledTrainer::train() {
-  while (epochs_run() < config_.epochs) (void)run_epoch_detailed();
+  while (epochs_run() < config_.epochs) {
+    (void)run_epoch_detailed();
+    maybe_auto_checkpoint(epochs_run());
+  }
   return metrics_;
 }
 
@@ -171,7 +174,10 @@ const TrainResult& SampledTrainer::result() {
 }
 
 const std::vector<SampledEpochMetrics>& SampledTrainer::train_detailed() {
-  while (epochs_run() < config_.epochs) (void)run_epoch_detailed();
+  while (epochs_run() < config_.epochs) {
+    (void)run_epoch_detailed();
+    maybe_auto_checkpoint(epochs_run());
+  }
   return detailed_;
 }
 

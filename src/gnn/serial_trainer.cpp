@@ -49,7 +49,10 @@ EpochMetrics SerialTrainer::run_epoch() {
 }
 
 const std::vector<EpochMetrics>& SerialTrainer::train() {
-  while (epoch_ < config_.epochs) run_epoch();
+  while (epoch_ < config_.epochs) {
+    run_epoch();
+    maybe_auto_checkpoint(epoch_);
+  }
   return metrics_;
 }
 

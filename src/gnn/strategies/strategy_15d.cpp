@@ -2,7 +2,7 @@
 
 namespace sagnn {
 
-std::vector<double> Strategy15d::rank_work(const StrategyContext& ctx) const {
+std::vector<double> grid_replica_nnz_work(const StrategyContext& ctx) {
   // Rank r holds block row r/c; the c replicas split its work.
   const GridLayout layout = GridLayout::make(ctx.p, ctx.c);
   std::vector<double> work(static_cast<std::size_t>(ctx.p), 0.0);
@@ -15,6 +15,10 @@ std::vector<double> Strategy15d::rank_work(const StrategyContext& ctx) const {
         layout.s;
   }
   return work;
+}
+
+std::vector<double> Strategy15d::rank_work(const StrategyContext& ctx) const {
+  return grid_replica_nnz_work(ctx);
 }
 
 namespace {

@@ -43,4 +43,8 @@ class Strategy15d final : public DistributionStrategy {
   std::unique_ptr<DistSpmm15d> spmm_;
 };
 
+/// rank_work() of the whole 1.5D family: rank r holds block row r/c and
+/// the c replicas of a grid row split its nnz evenly.
+std::vector<double> grid_replica_nnz_work(const StrategyContext& ctx);
+
 }  // namespace sagnn

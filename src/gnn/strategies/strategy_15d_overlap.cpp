@@ -1,0 +1,12 @@
+#include "gnn/strategies/strategy_15d_overlap.hpp"
+
+namespace sagnn {
+
+namespace {
+const StrategyRegistration kRegister15dOverlap{
+    "1.5d-overlap", {"15d-overlap", "1.5d-pipelined"}, [] {
+      return std::make_unique<Strategy15dOverlap>();
+    }};
+}  // namespace
+
+}  // namespace sagnn

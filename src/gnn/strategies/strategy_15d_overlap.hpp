@@ -1,0 +1,69 @@
+#pragma once
+// Replication-aware chunked-pipelining 1.5D strategy ("1.5d-overlap",
+// alias "15d-overlap"): the sparsity-aware 1.5D scheme of the paper with
+// the feature/gradient matrix split into K column chunks — the grid-column
+// alltoallv of chunk k+1 is issued before the local SpMM of chunk k,
+// exactly as "1d-overlap" chunks the 1D exchange — PLUS cross-layer
+// latency hiding: the pipeline-stage counter runs across the whole epoch
+// instead of resetting per propagate, so the first exchange of layer l+1
+// occupies the schedule slot directly after the last SpMM chunk of layer
+// l (no per-layer pipeline drain). The trainer arms this through
+// DistributionStrategy::begin_epoch().
+//
+// Reuses the 1.5D sparsity-aware index exchange verbatim — the moved
+// bytes per epoch are identical to "1.5d-sparse"; only the alltoall
+// message count (x K) and the schedule differ. The grid-row partial-sum
+// all-reduce stays one full-width collective per propagate (stage-tagged
+// but never column-split: splitting would reorder the ring's per-element
+// additions and break bitwise parity), so its message count does NOT
+// scale with K. Each stage's traffic lands in the epoch-wide tagged
+// phases "alltoall#s" / "allreduce#s", which EpochCost turns into the
+// pipelined critical path (see docs/cost_model.md).
+
+#include "dist/spmm_15d.hpp"
+#include "gnn/strategies/strategy_15d.hpp"
+#include "gnn/strategy.hpp"
+
+namespace sagnn {
+
+class Strategy15dOverlap final : public DistributionStrategy {
+ public:
+  std::string name() const override { return "1.5d-overlap"; }
+
+  int n_blocks(int p, int c) const override {
+    return GridLayout::make(p, c).rows;
+  }
+
+  void setup(Comm& comm, const StrategyContext& ctx) override {
+    SAGNN_REQUIRE(ctx.pipeline_chunks >= 1,
+                  "pipeline_chunks must be at least 1");
+    chunks_ = ctx.pipeline_chunks;
+    spmm_ = std::make_unique<DistSpmm15d>(comm, *ctx.adjacency, ctx.ranges,
+                                          ctx.c, SpmmMode::kSparsityAware);
+  }
+
+  void begin_epoch() override { stage_ = 0; }
+
+  Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {
+    return spmm_->multiply_pipelined(x_local, chunks_, &stage_, cpu_seconds);
+  }
+  Matrix propagate_backward(const Matrix& g_local, double* cpu_seconds) override {
+    return spmm_->multiply_pipelined(g_local, chunks_, &stage_, cpu_seconds);
+  }
+
+  Comm& reduce_comm() override { return spmm_->col_comm(); }
+  const BlockRange& my_range() const override { return spmm_->my_range(); }
+
+  std::vector<double> rank_work(const StrategyContext& ctx) const override {
+    return grid_replica_nnz_work(ctx);
+  }
+
+ private:
+  int chunks_ = 4;
+  /// Epoch-wide pipeline-stage cursor (reset by begin_epoch, advanced by
+  /// every propagate): the cross-layer schedule's source of stage tags.
+  int stage_ = 0;
+  std::unique_ptr<DistSpmm15d> spmm_;
+};
+
+}  // namespace sagnn

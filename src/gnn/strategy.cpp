@@ -46,11 +46,9 @@ EpochCost DistributionStrategy::epoch_cost(const CostModel& model,
   // assembly (like "sync"), so the per-epoch `other` bucket is exact — no
   // subtract-and-clamp that could silently absorb accounting drift.
   const double inv_epochs = 1.0 / std::max(1, epochs);
-  const EpochCost all =
-      sagnn::epoch_cost(model, traffic, smoothed, {"index_exchange"});
-  return EpochCost{all.compute * inv_epochs, all.alltoall * inv_epochs,
-                   all.bcast * inv_epochs, all.allreduce * inv_epochs,
-                   all.other * inv_epochs};
+  EpochCost all = sagnn::epoch_cost(model, traffic, smoothed, {"index_exchange"});
+  all.scale(inv_epochs);
+  return all;
 }
 
 std::vector<double> block_row_nnz_work(const StrategyContext& ctx) {

@@ -36,8 +36,8 @@ struct StrategyContext {
   int c = 1;  ///< replication factor (1.5D family; others ignore it)
   const CsrMatrix* adjacency = nullptr;
   std::span<const BlockRange> ranges;
-  /// Column-chunk count for pipelined strategies ("1d-overlap"); bulk-
-  /// synchronous strategies ignore it.
+  /// Column-chunk count for pipelined strategies ("1d-overlap",
+  /// "1.5d-overlap"); bulk-synchronous strategies ignore it.
   int pipeline_chunks = 4;
 };
 
@@ -56,6 +56,15 @@ class DistributionStrategy {
   /// matrix state, run the one-time index exchange (sparsity-aware modes;
   /// recorded under phase "index_exchange"). Collective over `comm`.
   virtual void setup(Comm& comm, const StrategyContext& ctx) = 0;
+
+  /// Called by the trainer at the top of every epoch, before the first
+  /// propagate. Cross-layer pipelined strategies ("1.5d-overlap") reset
+  /// their epoch-wide stage counter here so the stage-tagged traffic of
+  /// layer l+1 lands in the pipeline slots directly after layer l's — the
+  /// same tags every epoch, which keeps per-stage accumulation and
+  /// checkpointed traffic histories comparable across epochs.
+  /// Bulk-synchronous strategies ignore it.
+  virtual void begin_epoch() {}
 
   /// One aggregation Â·X of the forward pass, input and output in this
   /// rank's H residency. Local compute seconds accumulate into

@@ -1,5 +1,7 @@
 #include "gnn/trainer.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <istream>
 
 #include "ckpt/state_io.hpp"
@@ -11,6 +13,39 @@
 
 namespace sagnn {
 
+void Trainer::arm_auto_checkpoint(std::string path, int every_epochs) {
+  SAGNN_REQUIRE(every_epochs >= 0, "auto_checkpoint_every must be >= 0");
+  SAGNN_REQUIRE(every_epochs == 0 || !path.empty(),
+                "periodic auto-checkpointing needs a path "
+                "(TrainerBuilder::auto_checkpoint)");
+  auto_checkpoint_path_ = std::move(path);
+  auto_checkpoint_every_ = every_epochs;
+}
+
+void Trainer::maybe_auto_checkpoint(int epochs_completed) {
+  if (auto_checkpoint_every_ <= 0 || epochs_completed == 0 ||
+      epochs_completed % auto_checkpoint_every_ != 0) {
+    return;
+  }
+  // Write a sibling tmp file, flush-and-close with the stream state
+  // checked, then rename over the target: a PROCESS crash, short write,
+  // or close-time flush failure can never replace the previous good
+  // snapshot with a torn one. (Durability against power loss would
+  // additionally need fsync of the file and its directory, which
+  // iostreams cannot express — out of scope for the preemption studies
+  // this serves, whose failure mode is a killed process.)
+  const std::string& path = auto_checkpoint_path_;
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary);
+  SAGNN_REQUIRE(out.good(), "cannot open " + tmp + " for auto-checkpoint");
+  save(out);
+  out.flush();
+  out.close();
+  SAGNN_REQUIRE(!out.fail(), "short write while auto-checkpointing to " + tmp);
+  SAGNN_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot move auto-checkpoint into place at " + path);
+}
+
 std::unique_ptr<Trainer> TrainerBuilder::instantiate(TrainConfig cfg) const {
   const Dataset& ds = *dataset_;
   if (cfg.threads >= 1) set_parallel_threads(cfg.threads);
@@ -18,15 +53,19 @@ std::unique_ptr<Trainer> TrainerBuilder::instantiate(TrainConfig cfg) const {
     // The paper's default architecture: 3 layers, 16 hidden units.
     cfg.gcn.dims = {ds.n_features(), 16, 16, ds.n_classes};
   }
+  std::unique_ptr<Trainer> trainer;
   if (cfg.strategy == "serial") {
-    return std::make_unique<SerialTrainer>(ds, cfg.gcn);
+    trainer = std::make_unique<SerialTrainer>(ds, cfg.gcn);
+  } else if (cfg.strategy == "sampled") {
+    trainer = std::make_unique<SampledTrainer>(ds, cfg.gcn, cfg.sampling);
+  } else {
+    // Any other name resolves against the distribution-strategy registry;
+    // unknown names raise std::invalid_argument listing the registered ones.
+    trainer = std::make_unique<DistributedTrainer>(ds, cfg);
   }
-  if (cfg.strategy == "sampled") {
-    return std::make_unique<SampledTrainer>(ds, cfg.gcn, cfg.sampling);
-  }
-  // Any other name resolves against the distribution-strategy registry;
-  // unknown names raise std::invalid_argument listing the registered ones.
-  return std::make_unique<DistributedTrainer>(ds, std::move(cfg));
+  trainer->arm_auto_checkpoint(cfg.auto_checkpoint_path,
+                               cfg.auto_checkpoint_every);
+  return trainer;
 }
 
 std::unique_ptr<Trainer> TrainerBuilder::build() const {
@@ -65,6 +104,12 @@ std::unique_ptr<Trainer> TrainerBuilder::resume(std::istream& in) const {
   if (set_.pipeline_chunks) cfg.pipeline_chunks = config_.pipeline_chunks;
   if (set_.epochs) cfg.gcn.epochs = config_.gcn.epochs;
   if (set_.cost_model) cfg.cost_model = config_.cost_model;
+  // Auto-checkpointing is a runtime knob that never enters the snapshot;
+  // the resuming builder must re-arm it explicitly.
+  if (set_.auto_checkpoint) {
+    cfg.auto_checkpoint_path = config_.auto_checkpoint_path;
+    cfg.auto_checkpoint_every = config_.auto_checkpoint_every;
+  }
 
   std::unique_ptr<Trainer> trainer = instantiate(cfg);
   trainer->restore(d, saved);

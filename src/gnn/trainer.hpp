@@ -144,7 +144,26 @@ class Trainer {
   /// overrides — trainers compare it against their merged config to tell
   /// an exact same-geometry resume from an elastic restart.
   virtual void restore(ckpt::Deserializer& d, const TrainConfig& saved) = 0;
+
+  /// Periodic auto-checkpointing, shared by every mode's train() loop:
+  /// when armed (TrainConfig::auto_checkpoint_every via TrainerBuilder),
+  /// save() to the configured path after every N completed epochs,
+  /// atomically against process crashes (sibling ".tmp" + checked
+  /// flush/close + rename — a killed process or failed write never
+  /// replaces the previous good snapshot; power-loss durability (fsync)
+  /// is explicitly out of scope). Call with epochs_run() after each
+  /// epoch of a train() loop; no-op when disabled. run_epoch() stepping
+  /// deliberately never triggers it.
+  void maybe_auto_checkpoint(int epochs_completed);
+
   friend class TrainerBuilder;
+
+ private:
+  /// Builder-only: validates and stores the auto-checkpoint knobs.
+  void arm_auto_checkpoint(std::string path, int every_epochs);
+
+  int auto_checkpoint_every_ = 0;
+  std::string auto_checkpoint_path_;
 };
 
 /// One configuration record subsuming the per-mode option structs.
@@ -168,9 +187,19 @@ struct TrainConfig {
   std::string partitioner = "block";  ///< partitioner registry name
   PartitionerOptions partitioner_options;
   CostModel cost_model;
-  /// Column chunks for pipelined strategies ("1d-overlap"); bulk-
-  /// synchronous strategies ignore it.
+  /// Column chunks for pipelined strategies ("1d-overlap",
+  /// "1.5d-overlap"); bulk-synchronous strategies ignore it.
   int pipeline_chunks = 4;
+
+  /// Periodic auto-checkpointing inside train(): every
+  /// `auto_checkpoint_every` completed epochs the trainer save()s to
+  /// `auto_checkpoint_path`, written atomically against process crashes
+  /// (sibling ".tmp" file + checked flush + rename) so an interrupted
+  /// write never leaves a torn snapshot at the advertised path. 0
+  /// disables. A runtime knob, deliberately NOT serialized into
+  /// checkpoints — re-arm it on the resuming builder if wanted.
+  int auto_checkpoint_every = 0;
+  std::string auto_checkpoint_path;
 
   // --- sampled-mode options ---
   SamplingConfig sampling;
@@ -228,6 +257,14 @@ class TrainerBuilder {
     set_.pipeline_chunks = true;
     return *this;
   }
+  /// Arm periodic auto-checkpointing: train() snapshots to `path` every
+  /// `every_epochs` completed epochs (atomic tmp-file + rename).
+  TrainerBuilder& auto_checkpoint(std::string path, int every_epochs) {
+    config_.auto_checkpoint_path = std::move(path);
+    config_.auto_checkpoint_every = every_epochs;
+    set_.auto_checkpoint = true;
+    return *this;
+  }
   TrainerBuilder& sampling(SamplingConfig cfg) {
     config_.sampling = std::move(cfg);
     return *this;
@@ -258,7 +295,9 @@ class TrainerBuilder {
   ///                      the new geometry and the replicated weights
   ///                      resume on p' ranks (c' = 0 keeps the
   ///                      checkpoint's replication factor),
-  ///   * partitioner()/threads()/pipeline_chunks()/cost_model() — likewise.
+  ///   * partitioner()/threads()/pipeline_chunks()/cost_model() — likewise;
+  ///   * auto_checkpoint() — re-arms periodic snapshotting (the knob is
+  ///                         never stored in checkpoints).
   ///
   /// strategy() may be set but must match the checkpoint's strategy
   /// (changing the algorithm mid-run is a different experiment);
@@ -281,6 +320,7 @@ class TrainerBuilder {
     bool pipeline_chunks = false;
     bool epochs = false;
     bool cost_model = false;
+    bool auto_checkpoint = false;
   } set_;
 };
 

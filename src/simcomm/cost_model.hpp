@@ -20,7 +20,9 @@
 // scaled by `compute_scale` (CPU SpMM throughput -> A100 throughput) and the
 // maximum over ranks is taken.
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcomm/traffic.hpp"
@@ -66,11 +68,26 @@ struct CostModel {
   /// max(send, recv) serialization.
   double phase_seconds(const PhaseTraffic& t) const;
 
+  /// One phase's bottleneck cost, decomposed at the bottleneck itself: the
+  /// (rank, side) that sets `seconds` also contributes its alpha share,
+  /// message count, and volume-scaled bytes, so
+  /// seconds == latency + beta-terms exactly at that bottleneck.
+  struct PhaseCostDetail {
+    double seconds = 0;   ///< max over ranks of max(send, recv)
+    double latency = 0;   ///< alpha (per-message) share at that bottleneck
+    double messages = 0;  ///< messages serialized at that bottleneck
+    double bytes = 0;     ///< volume-scaled bytes at that bottleneck
+  };
+  PhaseCostDetail phase_cost_detail(const PhaseTraffic& t) const;
+
   /// max over ranks of scaled compute seconds.
   double compute_seconds(const std::vector<double>& per_rank_cpu_seconds) const;
 };
 
-/// One row of an epoch-time report: modeled seconds per phase + compute.
+/// One row of an epoch-time report: modeled seconds per phase + compute,
+/// plus the explicit alpha-beta decomposition of each phase bucket (the
+/// latency share and, for the chunkable alltoall, the bottleneck message
+/// and byte counts) that the pipelined-schedule models below consume.
 struct EpochCost {
   double compute = 0;
   double alltoall = 0;
@@ -78,7 +95,27 @@ struct EpochCost {
   double allreduce = 0;
   double other = 0;
 
+  /// Alpha (per-message latency) share of each bucket, measured at the
+  /// same bottleneck (rank, side) that sets the bucket's seconds — so
+  /// e.g. alltoall == alltoall_latency + beta-terms exactly. For a
+  /// stage-tagged phase the stages' bottleneck shares accumulate.
+  double alltoall_latency = 0;
+  double bcast_latency = 0;
+  double allreduce_latency = 0;
+  double other_latency = 0;
+
+  /// Bottleneck-rank per-epoch message count and volume-scaled bytes of
+  /// the alltoall bucket — the phase pipelined strategies chunk. On a
+  /// bulk-synchronous (depth-1) recording these are the K=1 counts the
+  /// message-count-aware total_pipelined(K, alpha, beta) reprices.
+  double alltoall_messages = 0;
+  double alltoall_bytes = 0;
+
   double comm() const { return alltoall + bcast + allreduce + other; }
+  double comm_latency() const {
+    return alltoall_latency + bcast_latency + allreduce_latency + other_latency;
+  }
+  double comm_bandwidth() const { return comm() - comm_latency(); }
 
   /// Bulk-synchronous epoch time (the paper's execution model):
   /// communication and computation serialize.
@@ -112,6 +149,59 @@ struct EpochCost {
     const double s = static_cast<double>(std::max(1, stages));
     return std::max(compute, comm()) + std::min(compute, comm()) / s;
   }
+
+  /// Predicted per-epoch communication when the alltoall runs in `chunks`
+  /// column chunks instead of the one this cost recorded: chunking re-pays
+  /// the per-message latency once per chunk over the same payload,
+  ///
+  ///   alltoall(K) = K * alpha * m + beta * V,
+  ///
+  /// with m = alltoall_messages and V = alltoall_bytes (the bottleneck
+  /// counts of a bulk-synchronous K=1 recording); every other bucket is
+  /// invariant (its message count does not scale with K). Passing
+  /// alpha = alltoall_latency / m and beta = (alltoall - alltoall_latency)
+  /// / V reproduces comm() exactly at K = 1 — see effective_alpha_beta().
+  double comm_repriced(int chunks, double alpha, double beta) const {
+    return static_cast<double>(std::max(1, chunks)) * alpha * alltoall_messages +
+           beta * alltoall_bytes + bcast + allreduce + other;
+  }
+
+  /// Message-count-aware alpha-beta pipelined model (docs/cost_model.md):
+  /// the K-chunk schedule moves comm_repriced(K) worth of communication
+  /// through a pipeline `depth` stages deep (depth = K for a within-layer
+  /// schedule like "1d-overlap"; cross-layer schedules like "1.5d-overlap"
+  /// pass their deeper recorded stage count), so
+  ///
+  ///   bulk(K)  = compute + comm(K)
+  ///   pipe(K)  = max(compute, comm(K)) + min(compute, comm(K)) / depth
+  ///   ideal(K) = max(compute, comm(K))
+  ///
+  /// and bulk(K) >= pipe(K) >= ideal(K) holds for EVERY K — the latency
+  /// cap on the useful chunk depth arises because comm(K) itself grows
+  /// with K, not because the ordering ever inverts. Predict from a
+  /// bulk-synchronous (depth-1) recording; a chunked recording's message
+  /// count is already inflated.
+  double total_pipelined(int chunks, double alpha, double beta,
+                         int depth = 0) const {
+    const double comm_k = comm_repriced(chunks, alpha, beta);
+    const double d = static_cast<double>(std::max(1, depth == 0 ? chunks : depth));
+    return std::max(compute, comm_k) + std::min(compute, comm_k) / d;
+  }
+
+  /// The (alpha, beta) pair that makes comm_repriced(1, alpha, beta) ==
+  /// comm() exactly: the recorded bottleneck latency per message and
+  /// bandwidth-seconds per byte of the alltoall bucket. This is how a
+  /// measured baseline row calibrates the predictive model above (zero if
+  /// the respective count is zero).
+  std::pair<double, double> effective_alpha_beta() const {
+    return {alltoall_messages > 0 ? alltoall_latency / alltoall_messages : 0.0,
+            alltoall_bytes > 0 ? (alltoall - alltoall_latency) / alltoall_bytes
+                               : 0.0};
+  }
+
+  /// Multiply every field (compute, buckets, latency shares, counts) by
+  /// `factor` — per-epoch averaging of a whole-run assembly.
+  void scale(double factor);
 };
 
 /// Assemble an EpochCost from a recorder: phases map onto the breakdown

@@ -1,0 +1,181 @@
+// Periodic auto-checkpointing inside DistributedTrainer::train(): every N
+// completed epochs a resumable snapshot lands (atomically) at the
+// configured path; resuming from it continues bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gnn/trainer.hpp"
+#include "graph/datasets.hpp"
+
+namespace sagnn {
+namespace {
+
+GcnConfig tiny_config(const Dataset& ds, int epochs) {
+  GcnConfig cfg = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
+  cfg.learning_rate = 0.3f;
+  return cfg;
+}
+
+std::string temp_ckpt_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(AutoCheckpoint, TrainSnapshotsEveryNEpochsAndResumesBitIdentically) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const std::string path = temp_ckpt_path("sagnn_auto_ckpt_test.ckpt");
+  std::filesystem::remove(path);
+
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(4)
+                     .partitioner("gvb")
+                     .gcn(tiny_config(ds, 5))
+                     .auto_checkpoint(path, 2)
+                     .build();
+  trainer->train();
+  const TrainResult& full = trainer->result();
+
+  // train() ran epochs 1..5; snapshots fired after epochs 2 and 4, so the
+  // file on disk holds the epoch-4 state (the tmp sibling must be gone).
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  auto resumed = TrainerBuilder(ds).resume(in);
+  EXPECT_EQ(resumed->epochs_run(), 4);
+  resumed->train();  // the remaining 5th epoch
+  const TrainResult& cont = resumed->result();
+  ASSERT_EQ(cont.epochs.size(), full.epochs.size());
+  for (std::size_t e = 0; e < full.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(cont.epochs[e].loss, full.epochs[e].loss) << e;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AutoCheckpoint, DisabledByDefaultAndOffForSteppedEpochs) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const std::string path = temp_ckpt_path("sagnn_auto_ckpt_stepped.ckpt");
+  std::filesystem::remove(path);
+  // run_epoch() stepping never auto-checkpoints — the knob belongs to
+  // train()'s unattended loop; steppers call save() themselves.
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(4)
+                     .gcn(tiny_config(ds, 4))
+                     .auto_checkpoint(path, 2)
+                     .build();
+  (void)trainer->run_epoch();
+  (void)trainer->run_epoch();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  trainer->train();  // picks up at epoch 3; snapshots at epoch 4
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+TEST(AutoCheckpoint, WorksForSerialTrainerToo) {
+  // The knob is armed on the Trainer base, so every mode's train() loop
+  // honors it — a serial run must snapshot and resume just like a
+  // distributed one.
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const std::string path = temp_ckpt_path("sagnn_auto_ckpt_serial.ckpt");
+  std::filesystem::remove(path);
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("serial")
+                     .gcn(tiny_config(ds, 5))
+                     .auto_checkpoint(path, 2)
+                     .build();
+  trainer->train();
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  std::ifstream in(path, std::ios::binary);
+  auto resumed = TrainerBuilder(ds).resume(in);
+  EXPECT_EQ(resumed->epochs_run(), 4);
+  resumed->train();
+  const TrainResult& cont = resumed->result();
+  const TrainResult& full = trainer->result();
+  ASSERT_EQ(cont.epochs.size(), full.epochs.size());
+  for (std::size_t e = 0; e < full.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(cont.epochs[e].loss, full.epochs[e].loss) << e;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AutoCheckpoint, WorksForSampledTrainerToo) {
+  // The third mode: sampled training snapshots on the same cadence and
+  // resumes bit-identically (RNG state is part of the checkpoint).
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const GcnConfig cfg = tiny_config(ds, 5);
+  SamplingConfig sampling;
+  sampling.fanouts.assign(static_cast<std::size_t>(cfg.n_layers()), 5);
+  const std::string path = temp_ckpt_path("sagnn_auto_ckpt_sampled.ckpt");
+  std::filesystem::remove(path);
+
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("sampled")
+                     .sampling(sampling)
+                     .gcn(cfg)
+                     .auto_checkpoint(path, 2)
+                     .build();
+  trainer->train();
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  std::ifstream in(path, std::ios::binary);
+  auto resumed = TrainerBuilder(ds).resume(in);
+  EXPECT_EQ(resumed->epochs_run(), 4);
+  resumed->train();
+  const TrainResult& cont = resumed->result();
+  const TrainResult& full = trainer->result();
+  ASSERT_EQ(cont.epochs.size(), full.epochs.size());
+  for (std::size_t e = 0; e < full.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(cont.epochs[e].loss, full.epochs[e].loss) << e;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AutoCheckpoint, RejectsEnabledWithoutPath) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  EXPECT_THROW(TrainerBuilder(ds)
+                   .strategy("1d-sparse")
+                   .ranks(4)
+                   .gcn(tiny_config(ds, 2))
+                   .auto_checkpoint("", 2)
+                   .build(),
+               Error);
+}
+
+TEST(AutoCheckpoint, ResumedRunCanReArmTheKnob) {
+  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
+  const std::string first = temp_ckpt_path("sagnn_auto_ckpt_first.ckpt");
+  const std::string second = temp_ckpt_path("sagnn_auto_ckpt_second.ckpt");
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+
+  auto trainer = TrainerBuilder(ds)
+                     .strategy("1d-sparse")
+                     .ranks(4)
+                     .gcn(tiny_config(ds, 2))
+                     .auto_checkpoint(first, 2)
+                     .build();
+  trainer->train();
+  ASSERT_TRUE(std::filesystem::exists(first));
+
+  // The knob is not serialized: a plain resume trains without snapshots,
+  // an explicitly re-armed one snapshots to the new path.
+  std::ifstream in(first, std::ios::binary);
+  auto resumed = TrainerBuilder(ds)
+                     .epochs(4)
+                     .auto_checkpoint(second, 2)
+                     .resume(in);
+  resumed->train();
+  EXPECT_TRUE(std::filesystem::exists(second));
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+}
+
+}  // namespace
+}  // namespace sagnn
