@@ -178,6 +178,14 @@ void Deserializer::enter_section(const std::string& name) {
     throw CheckpointFormatError("expected section '" + name + "', found '" +
                                 pending_name_ + "'");
   }
+  load_body();
+  section_name_ = pending_name_;
+  cursor_ = 0;
+  in_section_ = true;
+  header_loaded_ = false;
+}
+
+void Deserializer::load_body() {
   // The length field is outside the payload CRC, so it can be damaged on
   // its own: read in bounded chunks instead of trusting it for one big
   // allocation — a corrupt huge length hits end-of-stream after at most
@@ -199,10 +207,17 @@ void Deserializer::enter_section(const std::string& name) {
   if (stored != actual) {
     throw CheckpointCrcError(pending_name_, stored, actual);
   }
-  section_name_ = pending_name_;
-  cursor_ = 0;
-  in_section_ = true;
+}
+
+std::string Deserializer::skip_section() {
+  SAGNN_REQUIRE(!in_section_, "skip_section inside an open section");
+  load_header();
+  if (pending_name_ == kEndSection) {
+    throw CheckpointFormatError("cannot skip the end marker");
+  }
+  load_body();  // still CRC-checks: damage in a skipped section is detected
   header_loaded_ = false;
+  return pending_name_;
 }
 
 void Deserializer::leave_section() {

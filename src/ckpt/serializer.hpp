@@ -94,6 +94,13 @@ class Deserializer {
   /// bytes remain unread (a reader/writer disagreement, not corruption —
   /// CRC already passed).
   void leave_section();
+  /// Consume the next section WITHOUT interpreting its payload (the CRC is
+  /// still verified, so damage in a skipped section is detected); returns
+  /// the skipped section's name. Used by readers that want only a subset
+  /// of a trainer's sections (serve/ModelLoader) and must stay robust to
+  /// mode-specific sections they do not know. Refuses to skip the end
+  /// marker.
+  std::string skip_section();
   /// Consume the end marker; throws if the stream holds something else.
   void finish();
 
@@ -132,6 +139,8 @@ class Deserializer {
   /// Read the header of the next section into (pending_name_,
   /// pending_len_) if not already peeked.
   void load_header();
+  /// Read + CRC-check the pending section's payload into payload_.
+  void load_body();
   /// Throw CheckpointTruncatedError unless `n` more payload bytes exist.
   void check_remaining(std::uint64_t n) const;
   const char* take_bytes(std::size_t len);

@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sagnn {
@@ -64,6 +65,34 @@ real_t Rng::normal() {
 Rng Rng::fork(std::uint64_t stream_id) const {
   SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ull * (stream_id + 1)));
   return Rng(sm.next());
+}
+
+ZipfSampler::ZipfSampler(double exponent, std::uint64_t n)
+    : exponent_(exponent) {
+  SAGNN_REQUIRE(n >= 1, "ZipfSampler needs at least one rank");
+  SAGNN_REQUIRE(exponent >= 0.0, "Zipf exponent must be >= 0");
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // exact, so a draw of 1-eps can never fall off the end
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // First rank whose CDF strictly exceeds u: next_double() is in [0, 1),
+  // so the result is always a valid index.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint64_t k) const {
+  SAGNN_REQUIRE(k < cdf_.size(), "Zipf rank out of range");
+  const auto i = static_cast<std::size_t>(k);
+  return k == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
 }
 
 }  // namespace sagnn

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -78,6 +79,33 @@ class Rng {
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;
+};
+
+/// Deterministic Zipf(s, N) sampler over 0-based ranks [0, N): rank k is
+/// drawn with probability (k+1)^-s / H_{N,s}. Built as an inverse-CDF
+/// table, so every sample() consumes EXACTLY ONE uniform draw from the
+/// supplied Rng — the generator state after n samples is a pure function
+/// of (seed, n), independent of the exponent, the table, or any rejection
+/// luck. This is what makes Zipf-driven workload benches (bench_serving)
+/// replayable from a printed seed. The table itself is a pure function of
+/// (s, n); memory is 8 bytes per rank.
+class ZipfSampler {
+ public:
+  /// `exponent` >= 0 (0 degenerates to the uniform distribution); `n` >= 1.
+  ZipfSampler(double exponent, std::uint64_t n);
+
+  std::uint64_t n() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Draw one 0-based rank. Consumes exactly one Rng::next_double().
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Exact probability mass of 0-based rank k under the normalized law.
+  double probability(std::uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k); cdf_.back() == 1
+  double exponent_ = 1.0;
 };
 
 }  // namespace sagnn

@@ -1,7 +1,5 @@
 #include "gnn/dist_trainer.hpp"
 
-#include "gnn/distributed_trainer.hpp"
-
 namespace sagnn {
 
 const char* to_string(DistAlgo algo) {
@@ -46,13 +44,6 @@ TrainConfig DistTrainerOptions::to_train_config() const {
   cfg.partitioner_options = partitioner_options;
   cfg.cost_model = cost_model;
   return cfg;
-}
-
-DistTrainerResult train_distributed(const Dataset& dataset,
-                                    const DistTrainerOptions& options) {
-  DistributedTrainer trainer(dataset, options.to_train_config());
-  trainer.train();
-  return trainer.result();
 }
 
 }  // namespace sagnn

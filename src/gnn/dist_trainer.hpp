@@ -1,16 +1,15 @@
 #pragma once
-// Back-compatibility shim over the unified training API (gnn/trainer.hpp).
+// The DistAlgo naming layer over the unified training API (gnn/trainer.hpp).
 //
-// Historical entry point: pick a dataset, a DistAlgo and a partitioner
-// name, and train_distributed() runs the full job. New code should prefer
-// TrainerBuilder, which selects the same strategies by registry name and
-// supports epoch-at-a-time stepping:
+// DistAlgo enumerates the paper's six distributed algorithms and maps 1:1
+// onto strategy registry names via strategy_name(); DistTrainerOptions is
+// the historical option record, convertible to the unified TrainConfig.
+// Training itself goes through TrainerBuilder:
 //
-//   auto trainer = TrainerBuilder(ds).strategy("1d-sparse")
-//                      .ranks(p).partitioner("gvb").gcn(cfg).build();
+//   TrainerBuilder(ds).config(options.to_train_config()).build()->train();
 //
-// The DistAlgo enum is retained for existing callers and maps 1:1 onto
-// strategy registry names via strategy_name().
+// (The old train_distributed() entry point was deprecated in PR 4 and
+// removed in this revision — see docs/api.md, "Removed".)
 
 #include <string>
 
@@ -49,19 +48,5 @@ struct DistTrainerOptions {
 /// Distributed runs produce the common TrainResult; the historical name is
 /// kept for existing callers.
 using DistTrainerResult = TrainResult;
-
-/// Run a full distributed training job (thin wrapper over TrainerBuilder).
-/// Collectives inside require p >= 1; 1.5D algorithms need c^2 | p; 2D
-/// algorithms need a square p.
-///
-/// Deprecated since PR 4; scheduled for removal in PR 7 (see docs/api.md,
-/// "Deprecations"). Migrate:
-///   TrainerBuilder(ds).config(options.to_train_config()).build()->train()
-/// — identical behavior, plus epoch stepping and checkpoint/restore.
-[[deprecated(
-    "use TrainerBuilder (see docs/api.md 'Deprecations'; removal planned "
-    "for PR 7)")]]
-DistTrainerResult train_distributed(const Dataset& dataset,
-                                    const DistTrainerOptions& options);
 
 }  // namespace sagnn

@@ -84,6 +84,119 @@ CooMatrix rmat(int scale, int edge_factor, Rng& rng, RmatParams params) {
   return coo;
 }
 
+CsrMatrix rmat_csr(int scale, int edge_factor, Rng& rng, RmatParams params) {
+  SAGNN_REQUIRE(scale >= 1 && scale < 31, "rmat scale out of range");
+  SAGNN_REQUIRE(edge_factor >= 1, "edge_factor must be positive");
+  const vid_t n = vid_t{1} << scale;
+  const eid_t m = static_cast<eid_t>(n) * edge_factor;
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  SAGNN_REQUIRE(abc < 1.0, "rmat probabilities must sum below 1");
+
+  // One quadrant descent == `scale` next_double draws, exactly as rmat().
+  auto draw_edge = [&](vid_t& row, vid_t& col) {
+    row = 0;
+    col = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = rng.next_double();
+      if (r < params.a) {
+        // top-left quadrant
+      } else if (r < ab) {
+        col |= vid_t{1} << bit;
+      } else if (r < abc) {
+        row |= vid_t{1} << bit;
+      } else {
+        row |= vid_t{1} << bit;
+        col |= vid_t{1} << bit;
+      }
+    }
+  };
+
+  // Pass 1: per-vertex arc counts (both directions, duplicates included —
+  // dedup happens in place after the fill). Snapshot the generator first so
+  // pass 2 can replay the identical edge stream.
+  const auto edge_state = rng.save_state();
+  std::vector<eid_t> count(static_cast<std::size_t>(n), 0);
+  for (eid_t k = 0; k < m; ++k) {
+    vid_t row, col;
+    draw_edge(row, col);
+    if (row != col) {
+      ++count[static_cast<std::size_t>(row)];
+      ++count[static_cast<std::size_t>(col)];
+    }
+  }
+
+  // The COO path draws the scramble permutation AFTER the edge stream; the
+  // RNG is at exactly that point now, so the permutation matches bit for
+  // bit. A bijection maps degrees with it: remap the counts instead of
+  // recounting.
+  std::vector<vid_t> perm;
+  if (params.scramble_ids) {
+    perm.resize(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (vid_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<vid_t>(
+          rng.next_below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+  }
+  const auto final_state = rng.save_state();
+
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t id = params.scramble_ids ? perm[static_cast<std::size_t>(v)] : v;
+    row_ptr[static_cast<std::size_t>(id) + 1] = count[static_cast<std::size_t>(v)];
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    row_ptr[static_cast<std::size_t>(v) + 1] += row_ptr[static_cast<std::size_t>(v)];
+  }
+  count.clear();
+  count.shrink_to_fit();
+
+  // Pass 2: replay the edge stream and scatter both arc directions straight
+  // into their rows.
+  std::vector<vid_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<eid_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  rng.load_state(edge_state);
+  for (eid_t k = 0; k < m; ++k) {
+    vid_t row, col;
+    draw_edge(row, col);
+    if (row != col) {
+      const vid_t u =
+          params.scramble_ids ? perm[static_cast<std::size_t>(row)] : row;
+      const vid_t v =
+          params.scramble_ids ? perm[static_cast<std::size_t>(col)] : col;
+      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+    }
+  }
+  rng.load_state(final_state);
+
+  // Sort + dedup each row in place, compacting as we go. The write cursor
+  // never passes the read cursor (dedup only shrinks rows), so no extra
+  // buffer is needed.
+  eid_t write = 0;
+  eid_t row_begin = 0;
+  for (vid_t r = 0; r < n; ++r) {
+    const eid_t row_end = row_ptr[static_cast<std::size_t>(r) + 1];
+    auto* first = col_idx.data() + row_begin;
+    auto* last = col_idx.data() + row_end;
+    std::sort(first, last);
+    last = std::unique(first, last);
+    for (auto* p = first; p != last; ++p) {
+      col_idx[static_cast<std::size_t>(write++)] = *p;
+    }
+    row_begin = row_end;
+    row_ptr[static_cast<std::size_t>(r) + 1] = write;
+  }
+  col_idx.resize(static_cast<std::size_t>(write));
+  col_idx.shrink_to_fit();
+  std::vector<real_t> vals(static_cast<std::size_t>(write), real_t{1});
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
 CooMatrix clustered_graph(vid_t n, vid_t cluster_size, int intra_degree,
                           double inter_fraction, Rng& rng, bool scramble_ids,
                           std::vector<vid_t>* cluster_of) {

@@ -36,6 +36,18 @@ struct RmatParams {
 /// edges (before dedup). Output is symmetrized and loop-free.
 CooMatrix rmat(int scale, int edge_factor, Rng& rng, RmatParams params = {});
 
+/// The scale-up path of the same generator: identical graph, CSR built
+/// directly — no COO intermediate, no coalesce/symmetrize copies. The edge
+/// stream is generated twice from a snapshotted RNG state (count pass +
+/// fill pass), both directions land straight in their rows, and rows are
+/// sorted + deduplicated in place, so peak memory is ~8 bytes per stored
+/// arc instead of the COO path's ~3x that. Use this for the
+/// millions-of-edges sims (serving/wall-clock benches); for a fixed
+/// (seed, scale, edge_factor, params) the result is BITWISE identical to
+/// CsrMatrix::from_coo(rmat(...)) and the RNG ends in the same state
+/// (tests/test_generators.cpp pins both).
+CsrMatrix rmat_csr(int scale, int edge_factor, Rng& rng, RmatParams params = {});
+
 /// Clustered ("protein-like") graph: n vertices in n/cluster_size clusters;
 /// each vertex draws ~intra_degree neighbors inside its cluster and with
 /// probability inter_fraction one neighbor from an adjacent cluster.

@@ -15,8 +15,8 @@ DistTrainerOptions base_options(const Dataset& ds, int epochs = 3) {
   return opt;
 }
 
-// train_distributed() is deprecated; the historical options record still
-// maps onto the builder API, which is what these plumbing tests exercise.
+// The historical DistTrainerOptions record maps onto the builder API,
+// which is what these plumbing tests exercise.
 TrainResult run_distributed(const Dataset& ds, const DistTrainerOptions& opt) {
   auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
   trainer->train();

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -100,6 +101,73 @@ TEST(Rng, SplitMix64KnownGolden) {
   SplitMix64 sm2(1234567ull);
   EXPECT_EQ(first, sm2.next());
   EXPECT_NE(first, sm.next());
+}
+
+TEST(Zipf, DeterministicAcrossInstances) {
+  const ZipfSampler a(1.2, 1000), b(1.2, 1000);
+  Rng ra(42), rb(42);
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(a.sample(ra), b.sample(rb));
+}
+
+TEST(Zipf, OneUniformDrawPerSample) {
+  // The inverse-CDF table promises exactly one next_double per sample, so
+  // the generator state after n samples is a pure function of (seed, n).
+  const ZipfSampler zipf(0.9, 4096);
+  Rng sampled(7), counted(7);
+  for (int i = 0; i < 1000; ++i) (void)zipf.sample(sampled);
+  for (int i = 0; i < 1000; ++i) (void)counted.next_double();
+  EXPECT_EQ(sampled.save_state(), counted.save_state());
+}
+
+TEST(Zipf, RanksStayInRangeAndCoverHead) {
+  const std::uint64_t n = 64;
+  const ZipfSampler zipf(1.1, n);
+  Rng rng(21);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    ASSERT_LT(k, n);
+    seen.insert(k);
+  }
+  // The head ranks are hot; they must all appear in a few thousand draws.
+  for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(seen.contains(k)) << k;
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchTheLaw) {
+  const std::uint64_t n = 50;
+  const double s = 1.0;
+  const ZipfSampler zipf(s, n);
+  Rng rng(31);
+  const int draws = 200000;
+  std::vector<int> count(n, 0);
+  for (int i = 0; i < draws; ++i) ++count[zipf.sample(rng)];
+  // Probabilities sum to one and the head frequencies track p(k) closely.
+  double total_p = 0;
+  for (std::uint64_t k = 0; k < n; ++k) total_p += zipf.probability(k);
+  EXPECT_NEAR(total_p, 1.0, 1e-12);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    const double expected = zipf.probability(k);
+    const double observed = static_cast<double>(count[k]) / draws;
+    EXPECT_NEAR(observed, expected, 0.1 * expected + 2e-3) << "rank " << k;
+  }
+  // Monotone head: rank 0 strictly hottest for s = 1.
+  EXPECT_GT(count[0], count[1]);
+  EXPECT_GT(count[1], count[4]);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const std::uint64_t n = 16;
+  const ZipfSampler zipf(0.0, n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(zipf.probability(k), 1.0 / static_cast<double>(n), 1e-12);
+  }
+}
+
+TEST(Zipf, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(1.0, 0), Error);
+  EXPECT_THROW(ZipfSampler(-0.5, 10), Error);
+  const ZipfSampler ok(1.0, 3);
+  EXPECT_THROW(ok.probability(3), Error);
 }
 
 }  // namespace

@@ -227,28 +227,6 @@ TEST(Trainer, EveryModeReportsCompletedEpochCount) {
   }
 }
 
-TEST(DistAlgoShim, DeprecatedTrainDistributedStillMatchesBuilder) {
-  // The shim is [[deprecated]] but must keep working until its announced
-  // removal; it has to stay behaviorally identical to the builder path.
-  const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt;
-  opt.algo = DistAlgo::k1dSparse;
-  opt.p = 4;
-  opt.partitioner = "gvb";
-  opt.gcn = tiny_config(ds, 2);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const DistTrainerResult shim = train_distributed(ds, opt);
-#pragma GCC diagnostic pop
-  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
-  trainer->train();
-  const TrainResult& direct = trainer->result();
-  ASSERT_EQ(shim.epochs.size(), direct.epochs.size());
-  for (std::size_t e = 0; e < shim.epochs.size(); ++e) {
-    EXPECT_DOUBLE_EQ(shim.epochs[e].loss, direct.epochs[e].loss);
-  }
-}
-
 TEST(DistAlgoShim, ToTrainConfigMapsEveryField) {
   DistTrainerOptions opt;
   opt.algo = DistAlgo::k15dSparse;
