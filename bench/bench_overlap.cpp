@@ -22,6 +22,26 @@
 // per-pair message counts (the alpha term), so recovery peaks at a finite
 // chunk count and can go negative when latency swamps the overlap win.
 //
+// Since the runtime went request-based, every row also carries a MEASURED
+// overlap column: the wall-clock post->wait decomposition the exchanges
+// themselves recorded (TrainResult::measured_overlap_fraction(), hidden /
+// (hidden + blocked) seconds). The model counterpart of that fraction is
+// the schedule-only 1 - 1/stages; "gap pp" is measured minus model in
+// percentage points, and the JSON artifact carries all three per record
+// (measured_hidden_pct / model_hidden_pct / gap_pct) so CI can trend the
+// model-vs-measured agreement. Bulk rows keep a near-zero measured
+// fraction — their exchange is waited immediately after posting — which
+// is the built-in control that the measurement reacts to the schedule.
+//
+// The two columns agree only where the executed depth matches the
+// modeled depth: the runtime holds ONE exchange in flight (depth-2
+// double buffering), so at K = 2 measured tracks the model's 50%; at
+// deeper K the analytic fraction keeps climbing while the wall-clock
+// measurement saturates at the straggler/scheduler bound of the host
+// (the JSON's gap_pct column tracks exactly that divergence). The CI
+// assert therefore gates the K = 2 point, where a regression that stops
+// posting ahead collapses measured to the bulk row's near-zero.
+//
 // Self-asserted invariants (exit 1 on violation, so CI can gate on this
 // binary): every 1d-overlap row must actually run the configured K
 // stages and move exactly the baseline's alltoall bytes — chunking must
@@ -37,13 +57,18 @@
 // predicts. Additional self-asserts there: the expected schedule depth
 // per row, chunking never shrinking the bulk term, the measured best K
 // at p = 256 sitting strictly inside the swept range (the latency cap
-// is visible), and the model's prediction at the measured best K being
-// within 10% of the measurement.
+// is visible), the model's prediction at the measured best K being
+// within 10% of the measurement, and — the CI-tracked headline — the
+// measured overlap fraction at (p = 8, 1d-overlap, K = 2) agreeing with
+// the schedule model's 1 - 1/K = 50% within 25 percentage points.
 //
-// Usage: bench_overlap [--skip-scale]
+// Usage: bench_overlap [--skip-scale | --smoke]
 //   --skip-scale  only the quick K-sweep tables (used while iterating;
 //                 CI runs the full default so the artifact always has
 //                 the p=256 rows).
+//   --smoke       quick tables plus ONLY the p = 8 scale points (both
+//                 strategy families, measured-overlap assert included),
+//                 no JSON artifact — the sanitizer-CI configuration.
 
 #include <cmath>
 #include <cstdio>
@@ -64,7 +89,7 @@ void run_dataset(const Dataset& ds, const std::vector<int>& ps,
                  const std::vector<int>& chunk_counts) {
   print_banner(std::cout, ds.name);
   Table table({"p", "K", "alltoall MB", "msgs", "bulk ms", "pipe ms",
-               "ideal ms", "recovered %"});
+               "ideal ms", "recovered %", "meas hid %"});
   for (int p : ps) {
     double baseline_compute = 0, baseline_bulk = 0, baseline_gap = 0;
     double baseline_a2a_mb = 0;
@@ -116,7 +141,8 @@ void run_dataset(const Dataset& ds, const std::vector<int>& ps,
                      k == 0 ? "sparse" : std::to_string(r.pipeline_stages),
                      Table::num(a2a.megabytes_per_epoch, 4),
                      Table::num(a2a.messages_per_epoch, 4), ms(bulk), ms(pipe),
-                     ms(ideal), Table::num(recovered, 3)});
+                     ms(ideal), Table::num(recovered, 3),
+                     Table::num(r.measured_overlap_fraction() * 100.0, 3)});
     }
   }
   table.print(std::cout);
@@ -138,6 +164,11 @@ struct ScaleRecord {
   double model_pipe_ms = 0;  ///< alpha-beta prediction from the baseline row
   double ideal_ms = 0;
   double recovered_pct = 0;
+  /// Wall-clock overlap the exchanges measured (hidden/(hidden+blocked)),
+  /// its schedule-model counterpart (1 - 1/stages), and the signed gap.
+  double measured_hidden_pct = 0;
+  double model_hidden_pct = 0;
+  double gap_pct = 0;
 };
 
 void emit_scale_json(const std::vector<ScaleRecord>& records,
@@ -159,7 +190,10 @@ void emit_scale_json(const std::vector<ScaleRecord>& records,
         << ", \"bulk_ms\": " << r.bulk_ms << ", \"pipe_ms\": " << r.pipe_ms
         << ", \"model_pipe_ms\": " << r.model_pipe_ms
         << ", \"ideal_ms\": " << r.ideal_ms
-        << ", \"recovered_pct\": " << r.recovered_pct << "}"
+        << ", \"recovered_pct\": " << r.recovered_pct
+        << ", \"measured_hidden_pct\": " << r.measured_hidden_pct
+        << ", \"model_hidden_pct\": " << r.model_hidden_pct
+        << ", \"gap_pct\": " << r.gap_pct << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -204,20 +238,27 @@ std::vector<ScaleRecord> run_scale_point(const Dataset& ds,
 
   const auto add = [&](const std::string& strategy, int k, int stages,
                        const PhaseVolume& a2a, double bulk, double pipe,
-                       double model, double ideal) {
+                       double model, double ideal, double measured_pct) {
     const double recovered =
         base_gap > 0 ? (base_bulk - pipe) / base_gap * 100.0 : 0.0;
+    const double model_pct =
+        stages > 0 ? (1.0 - 1.0 / stages) * 100.0 : 0.0;
+    const double gap = measured_pct - model_pct;
     records.push_back({ds.name, strategy, p, c, k, stages,
                        a2a.megabytes_per_epoch, a2a.messages_per_epoch, bulk,
-                       pipe, model, ideal, recovered});
+                       pipe, model, ideal, recovered, measured_pct, model_pct,
+                       gap});
     table.add_row({strategy, std::to_string(p),
                    k == 0 ? "bulk" : std::to_string(k), std::to_string(stages),
                    Table::num(a2a.messages_per_epoch, 4), ms(bulk), ms(pipe),
                    k == 0 ? "-" : ms(model), ms(ideal),
-                   Table::num(recovered, 3)});
+                   Table::num(recovered, 3), Table::num(measured_pct, 3),
+                   Table::num(model_pct, 3), Table::num(gap, 3)});
+    return gap;
   };
   add(baseline, 0, base_r.pipeline_stages, base_r.phase_volumes.at("alltoall"),
-      base_bulk, base_bulk, base_bulk, base_ideal);
+      base_bulk, base_bulk, base_bulk, base_ideal,
+      base_r.measured_overlap_fraction() * 100.0);
 
   double best_pipe = base_bulk, best_model = base_bulk;
   int best_k = 0;
@@ -265,7 +306,25 @@ std::vector<ScaleRecord> run_scale_point(const Dataset& ds,
     // schedule's stage count — docs/cost_model.md derives the formula.
     const double model =
         base.total_pipelined(k, alpha_eff, beta_eff, r.pipeline_stages);
-    add(overlap, k, r.pipeline_stages, a2a, bulk, pipe, model, ideal);
+    const double gap =
+        add(overlap, k, r.pipeline_stages, a2a, bulk, pipe, model, ideal,
+            r.measured_overlap_fraction() * 100.0);
+    // The CI-tracked agreement point: K = 2 is where the executed
+    // depth-2 double-buffered schedule matches the modeled pipeline
+    // depth, so measured hidden time must agree with 1 - 1/K = 50%
+    // within 25 percentage points. A pipeline that stops posting ahead
+    // measures like the bulk row (a few percent) and trips this gate;
+    // deeper K saturates at the host's straggler bound instead of the
+    // analytic fraction and is tracked, not gated (header comment).
+    if (p == 8 && !cross_layer && k == 2 && std::abs(gap) > 25.0) {
+      std::cerr << "MEASURED-OVERLAP VIOLATION: " << overlap << " p=" << p
+                << " K=" << k << " measured "
+                << r.measured_overlap_fraction() * 100.0
+                << "% hidden vs schedule model "
+                << (1.0 - 1.0 / r.pipeline_stages) * 100.0 << "% (gap "
+                << gap << " pp exceeds 25)\n";
+      std::exit(1);
+    }
     if (pipe < best_pipe) {
       best_pipe = pipe;
       best_model = model;
@@ -294,13 +353,19 @@ std::vector<ScaleRecord> run_scale_point(const Dataset& ds,
   return records;
 }
 
-void run_scale_sweep(std::vector<ScaleRecord>& records) {
+void run_scale_sweep(std::vector<ScaleRecord>& records, bool smoke) {
   const Dataset ds = make_reddit_sim(DatasetScale::kSmall);
-  print_banner(std::cout, ds.name + " — latency-regime sweep (p up to 256)");
+  print_banner(std::cout, ds.name + (smoke ? " — p = 8 smoke points"
+                                           : " — latency-regime sweep (p up "
+                                             "to 256)"));
   Table table({"strategy", "p", "K", "stages", "a2a msgs", "bulk ms", "pipe ms",
-               "model ms", "ideal ms", "recovered %"});
-  const std::vector<int> chunk_counts{1, 2, 4, 8, 16};
-  for (int p : {8, 64, 256}) {
+               "model ms", "ideal ms", "recovered %", "meas %", "mdl %",
+               "gap pp"});
+  const std::vector<int> chunk_counts =
+      smoke ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> ps = smoke ? std::vector<int>{8}
+                                    : std::vector<int>{8, 64, 256};
+  for (int p : ps) {
     for (const auto& [baseline, overlap, c, cross_layer] :
          {std::tuple{"1d-sparse", "1d-overlap", 1, false},
           std::tuple{"1.5d-sparse", "1.5d-overlap", 2, true}}) {
@@ -315,15 +380,22 @@ void run_scale_sweep(std::vector<ScaleRecord>& records) {
                "latency dominates and 'pipe' bottoms out at an interior K —\n"
                "the useful chunk depth. 'model' is the alpha-beta prediction\n"
                "from the bulk baseline row (docs/cost_model.md); it must\n"
-               "track the measured 'pipe' within 10% at the crossover.\n";
+               "track the measured 'pipe' within 10% at the crossover.\n"
+               "'meas' is the wall-clock hidden share the exchanges\n"
+               "recorded; it stays near zero on bulk rows, matches the\n"
+               "schedule-only 'mdl' = 1 - 1/stages at K = 2 (the executed\n"
+               "double-buffered depth), and saturates at the host's\n"
+               "straggler bound at deeper K — 'gap pp' tracks exactly that.\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool skip_scale = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skip-scale") == 0) skip_scale = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   preamble("Overlap — chunked-pipelining schedule sweep",
            "K = 'sparse' is the bulk-synchronous 1d-sparse baseline; K >= 1\n"
@@ -340,9 +412,15 @@ int main(int argc, char** argv) {
                "tax is a few percent; the p = 256 sweep below is where it\n"
                "caps the useful chunk depth.\n";
 
-  if (!skip_scale) {
+  if (smoke) {
+    // Sanitizer CI: the p = 8 points exercise both pipelined strategies
+    // and the measured-overlap assert without the p = 256 wall-clock (or
+    // a JSON artifact that would shadow the full run's).
     std::vector<ScaleRecord> records;
-    run_scale_sweep(records);
+    run_scale_sweep(records, /*smoke=*/true);
+  } else if (!skip_scale) {
+    std::vector<ScaleRecord> records;
+    run_scale_sweep(records, /*smoke=*/false);
     emit_scale_json(records, "BENCH_overlap_scale.json");
   }
   return 0;

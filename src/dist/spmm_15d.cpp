@@ -93,10 +93,12 @@ Matrix DistSpmm15d::multiply_pipelined(const Matrix& h_local, int chunks,
     return static_cast<vid_t>(static_cast<std::int64_t>(f) * k / k_chunks);
   };
 
-  // Pack and exchange one column chunk of the requested rows within the
-  // grid column. Under a cross-layer schedule every chunk gets its
-  // epoch-wide stage id and a disjoint tag window, so stages neither blur
-  // in the cost accounting nor cross-match while in flight.
+  // Pack one column chunk of the requested rows and POST its exchange
+  // within the grid column (isends deposit immediately, the irecvs stay
+  // pending until the chunk boundary's wait()). Under a cross-layer
+  // schedule every chunk gets its epoch-wide stage id and a disjoint tag
+  // window, so stages neither blur in the cost accounting nor cross-match
+  // while in flight.
   const auto exchange = [&](int k) {
     const vid_t c0 = col_begin(k);
     const vid_t fc = col_begin(k + 1) - c0;
@@ -113,7 +115,7 @@ Matrix DistSpmm15d::multiply_pipelined(const Matrix& h_local, int chunks,
     }
     if (cpu != nullptr) *cpu += pack_timer.seconds();
     const int stage = stage_base + k;
-    return alltoallv<real_t>(
+    return ialltoallv<real_t>(
         col_comm_, send,
         tagged ? TrafficRecorder::stage_phase("alltoall", stage) : "alltoall",
         tagged ? coll_detail::alltoall_stage_tag(stage)
@@ -130,13 +132,18 @@ Matrix DistSpmm15d::multiply_pipelined(const Matrix& h_local, int chunks,
     if (cpu != nullptr) *cpu += gather_timer.seconds();
   }
 
-  // Software pipeline: the exchange of chunk k+1 is issued before the
-  // local SpMM of chunk k, so its messages are in flight while we compute.
+  // Double-buffered (depth-2) software pipeline: chunk k+1's exchange is
+  // posted before chunk k is even waited for, so its irecvs are pending —
+  // and the peers' eager isends in flight — through both the wait and the
+  // local SpMM of chunk k. wait() at the chunk boundary records the
+  // measured hidden/blocked split of that window.
   Matrix z(local_.local_rows(), f);
-  auto received_next = exchange(0);
+  auto in_flight = exchange(0);
   for (int k = 0; k < k_chunks; ++k) {
-    auto received = std::move(received_next);
-    if (k + 1 < k_chunks) received_next = exchange(k + 1);
+    PendingAlltoall<real_t> next;
+    if (k + 1 < k_chunks) next = exchange(k + 1);
+    auto received = in_flight.wait();
+    in_flight = std::move(next);
     const vid_t c0 = col_begin(k);
     const vid_t fc = col_begin(k + 1) - c0;
     ThreadCpuTimer timer;

@@ -53,9 +53,10 @@ class DistSpmm15d {
   Matrix multiply(const Matrix& h_local, double* cpu_seconds = nullptr);
 
   /// Chunked-pipelining multiply (sparsity-aware mode only): H is split
-  /// into `chunks` column chunks; the grid-column alltoallv of chunk k+1
-  /// is issued before the local SpMM of chunk k, exactly as
-  /// DistSpmm1d::multiply_pipelined chunks the 1D exchange. The grid-row
+  /// into `chunks` column chunks; the grid-column exchange of chunk k+1 is
+  /// POSTED (ialltoallv) before chunk k is waited for and computed, exactly
+  /// as DistSpmm1d::multiply_pipelined pipelines the 1D exchange (depth-2
+  /// double buffering with measured hidden/blocked wall-clock). The grid-row
   /// partial-sum all-reduce stays one full-width collective AFTER the last
   /// chunk — splitting it per chunk would reorder each element's
   /// cross-replica additions (the ring schedule assigns chunks by buffer

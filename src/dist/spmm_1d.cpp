@@ -85,9 +85,11 @@ Matrix DistSpmm1d::multiply_pipelined(Comm& comm, const Matrix& h_local,
     return static_cast<vid_t>(static_cast<std::int64_t>(f) * k / k_chunks);
   };
 
-  // Pack and exchange one column chunk of the requested rows. Every chunk
-  // gets its own traffic stage and tag window, so the stages neither blur
-  // in the cost accounting nor cross-match when in flight simultaneously.
+  // Pack one column chunk of the requested rows and POST its exchange:
+  // isends deposit immediately, the irecvs stay pending in the returned
+  // handle until the chunk boundary's wait(). Every chunk gets its own
+  // traffic stage and tag window, so the stages neither blur in the cost
+  // accounting nor cross-match when in flight simultaneously.
   const auto exchange = [&](int k) {
     const vid_t c0 = col_begin(k);
     const vid_t fc = col_begin(k + 1) - c0;
@@ -105,7 +107,7 @@ Matrix DistSpmm1d::multiply_pipelined(Comm& comm, const Matrix& h_local,
     if (cpu != nullptr) *cpu += pack_timer.seconds();
     // Per-stage tag windows shared with the 1.5D pipelined multiply —
     // see coll_detail::alltoall_stage_tag.
-    return alltoallv<real_t>(
+    return ialltoallv<real_t>(
         comm, send,
         chunked ? TrafficRecorder::stage_phase("alltoall", k) : "alltoall",
         chunked ? coll_detail::alltoall_stage_tag(k)
@@ -118,13 +120,18 @@ Matrix DistSpmm1d::multiply_pipelined(Comm& comm, const Matrix& h_local,
       h_local.gather_rows(local_.compacted_block(comm.rank()).cols);
   if (cpu != nullptr) *cpu += gather_timer.seconds();
 
-  // Software pipeline: the exchange of chunk k+1 is issued before the
-  // local SpMM of chunk k, so its messages are in flight while we compute.
+  // Double-buffered (depth-2) software pipeline: chunk k+1's exchange is
+  // posted before chunk k is even waited for, so its irecvs are pending —
+  // and the peers' eager isends in flight — through both the wait and the
+  // local SpMM of chunk k. wait() at the chunk boundary records the
+  // measured hidden/blocked split of that window.
   Matrix z(local_.local_rows(), f);
-  auto received_next = exchange(0);
+  auto in_flight = exchange(0);
   for (int k = 0; k < k_chunks; ++k) {
-    auto received = std::move(received_next);
-    if (k + 1 < k_chunks) received_next = exchange(k + 1);
+    PendingAlltoall<real_t> next;
+    if (k + 1 < k_chunks) next = exchange(k + 1);
+    auto received = in_flight.wait();
+    in_flight = std::move(next);
     const vid_t c0 = col_begin(k);
     const vid_t fc = col_begin(k + 1) - c0;
     ThreadCpuTimer timer;

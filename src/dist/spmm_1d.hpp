@@ -34,14 +34,17 @@ class DistSpmm1d {
                   double* cpu_seconds = nullptr);
 
   /// Chunked-pipelining multiply (sparsity-aware mode only): H is split
-  /// into `chunks` column chunks and the alltoallv of chunk k+1 is issued
-  /// before the local SpMM of chunk k, so a latency-aware schedule can
-  /// overlap the two (the simulated traffic of stage k is recorded under
-  /// phase "alltoall#k"; see EpochCost::total_pipelined()). Numerically
-  /// identical to multiply(): each output element accumulates its
-  /// neighbors in the same order, columns are independent. `chunks` = 1
-  /// is exactly the bulk-synchronous sparsity-aware multiply (untagged
-  /// "alltoall" phase) — multiply() delegates here.
+  /// into `chunks` column chunks and chunk k+1's exchange is POSTED
+  /// (ialltoallv: eager isends + pending irecvs) before chunk k is waited
+  /// for and computed — a genuine double-buffered (depth-2) pipeline, not
+  /// just a modeled one. Stage k's traffic is recorded under phase
+  /// "alltoall#k" and its wait() records the measured hidden/blocked
+  /// wall-clock split (see EpochCost::measured_overlap_fraction() next to
+  /// the modeled total_pipelined()). Numerically identical to multiply():
+  /// each output element accumulates its neighbors in the same order,
+  /// columns are independent. `chunks` = 1 is exactly the bulk-synchronous
+  /// sparsity-aware multiply (untagged "alltoall" phase) — multiply()
+  /// delegates here.
   Matrix multiply_pipelined(Comm& comm, const Matrix& h_local, int chunks,
                             double* cpu_seconds = nullptr);
 

@@ -34,16 +34,4 @@ bool is_2d(DistAlgo algo) {
   return algo == DistAlgo::k2dOblivious || algo == DistAlgo::k2dSparse;
 }
 
-TrainConfig DistTrainerOptions::to_train_config() const {
-  TrainConfig cfg;
-  cfg.gcn = gcn;
-  cfg.strategy = strategy_name(algo);
-  cfg.p = p;
-  cfg.c = c;
-  cfg.partitioner = partitioner;
-  cfg.partitioner_options = partitioner_options;
-  cfg.cost_model = cost_model;
-  return cfg;
-}
-
 }  // namespace sagnn

@@ -2,14 +2,14 @@
 // The DistAlgo naming layer over the unified training API (gnn/trainer.hpp).
 //
 // DistAlgo enumerates the paper's six distributed algorithms and maps 1:1
-// onto strategy registry names via strategy_name(); DistTrainerOptions is
-// the historical option record, convertible to the unified TrainConfig.
-// Training itself goes through TrainerBuilder:
+// onto strategy registry names via strategy_name(). Training goes through
+// TrainerBuilder with the registry name:
 //
-//   TrainerBuilder(ds).config(options.to_train_config()).build()->train();
+//   TrainerBuilder(ds).strategy(strategy_name(algo)).ranks(p, c).build();
 //
-// (The old train_distributed() entry point was deprecated in PR 4 and
-// removed in this revision — see docs/api.md, "Removed".)
+// (The old train_distributed() entry point was removed in PR 6; the
+// DistTrainerOptions record and its to_train_config() shim followed in
+// this revision — see docs/api.md, "Removed".)
 
 #include <string>
 
@@ -31,19 +31,6 @@ const char* to_string(DistAlgo algo);
 const char* strategy_name(DistAlgo algo);
 bool is_15d(DistAlgo algo);
 bool is_2d(DistAlgo algo);
-
-struct DistTrainerOptions {
-  DistAlgo algo = DistAlgo::k1dSparse;
-  int p = 4;                        ///< simulated GPU count
-  int c = 1;                        ///< replication factor (1.5D only)
-  std::string partitioner = "block";  ///< partitioner registry name
-  PartitionerOptions partitioner_options;
-  GcnConfig gcn;
-  CostModel cost_model;
-
-  /// The equivalent unified configuration record.
-  TrainConfig to_train_config() const;
-};
 
 /// Distributed runs produce the common TrainResult; the historical name is
 /// kept for existing callers.

@@ -18,7 +18,10 @@
 // additions and break bitwise parity), so its message count does NOT
 // scale with K. Each stage's traffic lands in the epoch-wide tagged
 // phases "alltoall#s" / "allreduce#s", which EpochCost turns into the
-// pipelined critical path (see docs/cost_model.md).
+// pipelined critical path (see docs/cost_model.md). The chunk exchanges
+// are genuinely posted ahead (ialltoallv) and waited at chunk boundaries,
+// so the run also reports the MEASURED per-stage hidden/blocked
+// wall-clock (EpochCost::measured_overlap_fraction()).
 
 #include "dist/spmm_15d.hpp"
 #include "gnn/strategies/strategy_15d.hpp"

@@ -107,6 +107,16 @@ struct TrainResult {
   double modeled_epoch_overlapped_seconds() const {
     return modeled_epoch.total_overlapped();
   }
+
+  /// MEASURED (host wall-clock) share of the nonblocking exchanges'
+  /// outstanding time hidden behind useful work — the runtime counterpart
+  /// of the modeled schedule columns above. 0 for strategies without
+  /// nonblocking exchanges; ~0 for bulk-synchronous alltoall strategies;
+  /// approaches 1 - 1/stages for the pipelined ones when compute covers
+  /// the exchange. Not checkpointed: a resumed run restarts it.
+  double measured_overlap_fraction() const {
+    return modeled_epoch.measured_overlap_fraction();
+  }
 };
 
 /// Common trainer interface. Epoch-at-a-time stepping and whole-run

@@ -8,6 +8,9 @@
 //   allgatherv     ring with variable-size blocks
 //   alltoallv      grouped pairwise exchange, exactly the
 //                  ncclGroupStart/ncclSend/ncclRecv/ncclGroupEnd pattern
+//   ialltoallv     the same exchange posted nonblocking: returns a
+//                  PendingAlltoall handle; wait() at the chunk boundary
+//                  (the MPI_Request idiom the pipelined SpMMs use)
 //   gatherv        point-to-point funnel into the root
 //
 // Every operation takes a `phase` label under which its traffic is recorded,
@@ -170,40 +173,115 @@ std::vector<std::vector<T>> allgatherv(Comm& comm, std::span<const T> mine,
   return out;
 }
 
-/// All-to-all with per-destination buffers: send_bufs[d] goes to rank d;
-/// returns recv_bufs where recv_bufs[s] came from rank s. Grouped pairwise
-/// exchange: step k pairs rank r with (r +/- k) mod p, the NCCL pattern the
-/// paper describes for torch.distributed's all_to_all. Pipelined callers
-/// that keep several exchanges in flight may pass distinct `tag_base`s
-/// (one per chunk) to keep the stages disjoint in the tag space; bases
-/// must leave room for p step offsets and stay inside the 1<<20 window
-/// between collective tag bases. Reusing a base across back-to-back
-/// exchanges is still correct — recv matches FIFO per (src, tag).
+template <typename T>
+class PendingAlltoall;
+
+template <typename T>
+PendingAlltoall<T> ialltoallv(Comm& comm,
+                              const std::vector<std::vector<T>>& send_bufs,
+                              const std::string& phase = "alltoall",
+                              long tag_base = coll_detail::kAlltoallTag);
+
+/// One in-flight nonblocking alltoallv: sends are already deposited (the
+/// runtime is eager), the per-source receives stay posted until wait().
+/// wait() returns the same recv_bufs the blocking alltoallv would have —
+/// the message pattern, tags, and traffic accounting are identical — and
+/// records the measured post→wait window (hidden vs blocked seconds) under
+/// the exchange's phase in the world's TrafficRecorder. Move-only; exactly
+/// one wait() per handle.
+template <typename T>
+class PendingAlltoall {
+ public:
+  PendingAlltoall() = default;
+  PendingAlltoall(PendingAlltoall&&) noexcept = default;
+  PendingAlltoall& operator=(PendingAlltoall&&) noexcept = default;
+
+  bool valid() const { return comm_ != nullptr; }
+
+  /// Complete the exchange: claim every receive (blocking as needed),
+  /// record the measured overlap, and return the per-source buffers.
+  std::vector<std::vector<T>> wait() {
+    SAGNN_REQUIRE(valid(), "wait() on an empty alltoall handle");
+    Comm* comm = comm_;
+    comm_ = nullptr;
+    std::vector<std::vector<T>> recv_bufs(recvs_.size());
+    double blocked = 0;
+    for (std::size_t s = 0; s < recvs_.size(); ++s) {
+      WaitStats stats;
+      recv_bufs[s] = Comm::payload_as<T>(recvs_[s].wait(&stats));
+      blocked += stats.blocked;
+    }
+    // The exchange was outstanding from post to now; whatever of that
+    // window was not stalled inside wait() was covered by useful work.
+    const double window = CommWorld::now_seconds() - posted_at_;
+    comm->world().traffic().record_overlap(phase_, std::max(0.0, window - blocked),
+                                           blocked);
+    return recv_bufs;
+  }
+
+ private:
+  template <typename U>
+  friend PendingAlltoall<U> ialltoallv(Comm&, const std::vector<std::vector<U>>&,
+                                       const std::string&, long);
+
+  Comm* comm_ = nullptr;
+  std::string phase_;
+  double posted_at_ = 0;
+  std::vector<Request> recvs_;  ///< indexed by source communicator rank
+};
+
+/// Nonblocking all-to-all with per-destination buffers: send_bufs[d] goes
+/// to rank d; the returned handle's wait() yields recv_bufs where
+/// recv_bufs[s] came from rank s. Same grouped pairwise pattern — step k
+/// pairs rank r with (r +/- k) mod p, the NCCL ncclGroupStart/ncclSend/
+/// ncclRecv/ncclGroupEnd idiom — and the same tags as the blocking
+/// alltoallv, so the two compose freely. Pipelined callers that keep
+/// several exchanges in flight pass distinct `tag_base`s (one per chunk)
+/// to keep the stages disjoint in the tag space; bases must leave room for
+/// p step offsets and stay inside the 1<<20 window between collective tag
+/// bases. Reusing a base across back-to-back exchanges is still correct —
+/// the k-th posted receive per (src, tag) matches the k-th send.
+template <typename T>
+PendingAlltoall<T> ialltoallv(Comm& comm,
+                              const std::vector<std::vector<T>>& send_bufs,
+                              const std::string& phase, long tag_base) {
+  const int p = comm.size();
+  SAGNN_REQUIRE(send_bufs.size() == static_cast<std::size_t>(p),
+                "alltoallv needs one send buffer per rank");
+  PendingAlltoall<T> pending;
+  pending.comm_ = &comm;
+  pending.phase_ = phase;
+  pending.posted_at_ = CommWorld::now_seconds();
+  pending.recvs_.resize(static_cast<std::size_t>(p));
+  // Local block: a self-copy, recorded so volume accounting can decide how
+  // to treat it (CostModel ignores src==dst traffic).
+  (void)comm.isend<T>(
+      comm.rank(), tag_base,
+      std::span<const T>(send_bufs[static_cast<std::size_t>(comm.rank())]), phase);
+  pending.recvs_[static_cast<std::size_t>(comm.rank())] =
+      comm.irecv(comm.rank(), tag_base);
+  for (int step = 1; step < p; ++step) {
+    const int dst = (comm.rank() + step) % p;
+    const int src = (comm.rank() - step + p) % p;
+    (void)comm.isend<T>(
+        dst, tag_base + step,
+        std::span<const T>(send_bufs[static_cast<std::size_t>(dst)]), phase);
+    pending.recvs_[static_cast<std::size_t>(src)] =
+        comm.irecv(src, tag_base + step);
+  }
+  return pending;
+}
+
+/// Blocking all-to-all: ialltoallv posted and waited in one call. A bulk-
+/// synchronous caller therefore still contributes an OverlapSample — with
+/// a near-empty hidden share, which is exactly what distinguishes it from
+/// a pipelined schedule in the measured columns.
 template <typename T>
 std::vector<std::vector<T>> alltoallv(Comm& comm,
                                       const std::vector<std::vector<T>>& send_bufs,
                                       const std::string& phase = "alltoall",
                                       long tag_base = coll_detail::kAlltoallTag) {
-  const int p = comm.size();
-  SAGNN_REQUIRE(send_bufs.size() == static_cast<std::size_t>(p),
-                "alltoallv needs one send buffer per rank");
-  std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
-  // Local block: a self-copy, recorded so volume accounting can decide how
-  // to treat it (CostModel ignores src==dst traffic).
-  comm.send<T>(comm.rank(), tag_base,
-               std::span<const T>(send_bufs[static_cast<std::size_t>(comm.rank())]),
-               phase);
-  recv_bufs[static_cast<std::size_t>(comm.rank())] =
-      comm.recv<T>(comm.rank(), tag_base);
-  for (int step = 1; step < p; ++step) {
-    const int dst = (comm.rank() + step) % p;
-    const int src = (comm.rank() - step + p) % p;
-    comm.send<T>(dst, tag_base + step,
-                 std::span<const T>(send_bufs[static_cast<std::size_t>(dst)]), phase);
-    recv_bufs[static_cast<std::size_t>(src)] =
-        comm.recv<T>(src, tag_base + step);
-  }
-  return recv_bufs;
+  return ialltoallv<T>(comm, send_bufs, phase, tag_base).wait();
 }
 
 /// Gather variable-size contributions at `root`. Returns per-rank data at

@@ -1,6 +1,7 @@
 #include "simcomm/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace sagnn {
 
@@ -10,28 +11,79 @@ CommWorld::CommWorld(int size) : size_(size), traffic_(size) {
   for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
 }
 
-void CommWorld::send(int src, int dst, long tag, std::span<const std::byte> data,
-                     const std::string& phase) {
+double CommWorld::now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Request CommWorld::isend(int src, int dst, long tag,
+                         std::span<const std::byte> data,
+                         const std::string& phase) {
   SAGNN_REQUIRE(src >= 0 && src < size_ && dst >= 0 && dst < size_,
                 "send rank out of range");
   traffic_.record(phase, src, dst, data.size());
+  const double sent_at = now_seconds();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mutex);
-    box.messages.push_back({src, tag, {data.begin(), data.end()}});
+    const auto key = std::make_pair(src, tag);
+    const std::uint64_t seq = box.arrival_seq[key]++;
+    auto abandoned_it = box.abandoned.find(key);
+    if (abandoned_it != box.abandoned.end() &&
+        abandoned_it->second.erase(seq) > 0) {
+      // The receive for this slot was destroyed unwaited; drop the payload
+      // so later slots keep matching their own messages.
+      if (abandoned_it->second.empty()) box.abandoned.erase(abandoned_it);
+    } else {
+      box.messages.push_back({src, tag, seq, sent_at, {data.begin(), data.end()}});
+    }
   }
   box.cv.notify_all();
+  return Request(this, Request::Kind::kSend, dst, src, tag, 0, sent_at);
+}
+
+Request CommWorld::irecv(int me, int src, long tag) {
+  SAGNN_REQUIRE(me >= 0 && me < size_ && src >= 0 && src < size_,
+                "recv rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(box.mutex);
+    seq = box.posted_seq[std::make_pair(src, tag)]++;
+  }
+  return Request(this, Request::Kind::kRecv, me, src, tag, seq, now_seconds());
+}
+
+void CommWorld::send(int src, int dst, long tag, std::span<const std::byte> data,
+                     const std::string& phase) {
+  (void)isend(src, dst, tag, data, phase);
 }
 
 std::vector<std::byte> CommWorld::recv(int me, int src, long tag) {
-  SAGNN_REQUIRE(me >= 0 && me < size_ && src >= 0 && src < size_,
-                "recv rank out of range");
+  return irecv(me, src, tag).wait();
+}
+
+std::vector<std::byte> CommWorld::wait_recv(int me, int src, long tag,
+                                            std::uint64_t seq, double posted_at,
+                                            WaitStats* stats) {
+  const double wait_begin = now_seconds();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
   std::unique_lock lock(box.mutex);
   for (;;) {
     auto it = std::find_if(box.messages.begin(), box.messages.end(),
-                           [&](const Message& m) { return m.src == src && m.tag == tag; });
+                           [&](const Message& m) {
+                             return m.src == src && m.tag == tag && m.seq == seq;
+                           });
     if (it != box.messages.end()) {
+      if (stats != nullptr) {
+        // Hidden: in-flight time covered before wait() was entered (clamped
+        // to the post time — a message sent before the receive was posted
+        // hid nothing). Blocked: the stall inside this wait.
+        stats->hidden =
+            std::max(0.0, std::min(wait_begin, it->sent_at) - posted_at);
+        stats->blocked = std::max(0.0, now_seconds() - wait_begin);
+      }
       std::vector<std::byte> data = std::move(it->data);
       box.messages.erase(it);
       return data;
@@ -39,6 +91,60 @@ std::vector<std::byte> CommWorld::recv(int me, int src, long tag) {
     if (aborted()) throw AbortedError();
     box.cv.wait(lock);
   }
+}
+
+void CommWorld::abandon_recv(int me, int src, long tag, std::uint64_t seq) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::lock_guard lock(box.mutex);
+  auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                         [&](const Message& m) {
+                           return m.src == src && m.tag == tag && m.seq == seq;
+                         });
+  if (it != box.messages.end()) {
+    box.messages.erase(it);
+  } else {
+    box.abandoned[std::make_pair(src, tag)].insert(seq);
+  }
+}
+
+std::vector<std::byte> Request::wait(WaitStats* stats) {
+  if (state_ == State::kDone) {
+    throw RequestError("wait() called twice on the same request");
+  }
+  if (state_ != State::kPending) {
+    throw RequestError("wait() on an empty (default or moved-from) request");
+  }
+  // Consumed either way: an AbortedError escape must not leave a handle the
+  // destructor would try to abandon against a torn-down stream.
+  state_ = State::kDone;
+  if (kind_ == Kind::kSend) {
+    if (stats != nullptr) *stats = {};
+    return {};
+  }
+  return world_->wait_recv(me_, src_, tag_, seq_, posted_at_, stats);
+}
+
+void Request::release() {
+  if (state_ == State::kPending && kind_ == Kind::kRecv) {
+    world_->abandon_recv(me_, src_, tag_, seq_);
+  }
+  world_ = nullptr;
+  state_ = State::kEmpty;
+}
+
+std::vector<std::vector<std::byte>> waitall(std::span<Request> requests,
+                                            WaitStats* accumulated) {
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(requests.size());
+  for (Request& r : requests) {
+    WaitStats stats;
+    payloads.push_back(r.wait(&stats));
+    if (accumulated != nullptr) {
+      accumulated->hidden += stats.hidden;
+      accumulated->blocked += stats.blocked;
+    }
+  }
+  return payloads;
 }
 
 void CommWorld::abort() {

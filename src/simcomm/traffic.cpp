@@ -60,18 +60,22 @@ double PhaseTraffic::send_imbalance_percent() const {
 TrafficRecorder::TrafficRecorder(const TrafficRecorder& other) : p_(other.p_) {
   std::lock_guard lock(other.mutex_);
   phases_ = other.phases_;
+  overlap_ = other.overlap_;
 }
 
 TrafficRecorder& TrafficRecorder::operator=(const TrafficRecorder& other) {
   if (this == &other) return *this;
   std::map<std::string, PhaseTraffic> snapshot;
+  std::map<std::string, OverlapSample> overlap_snapshot;
   {
     std::lock_guard lock(other.mutex_);
     snapshot = other.phases_;
+    overlap_snapshot = other.overlap_;
   }
   std::lock_guard lock(mutex_);
   p_ = other.p_;
   phases_ = std::move(snapshot);
+  overlap_ = std::move(overlap_snapshot);
   return *this;
 }
 
@@ -143,6 +147,41 @@ std::vector<std::string> TrafficRecorder::phase_names() const {
   return names;
 }
 
+void TrafficRecorder::record_overlap(const std::string& phase, double hidden,
+                                     double blocked) {
+  std::lock_guard lock(mutex_);
+  OverlapSample& s = overlap_[phase];
+  s.hidden += hidden;
+  s.blocked += blocked;
+  s.waits += 1;
+}
+
+OverlapSample TrafficRecorder::overlap(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = overlap_.find(name);
+  return it == overlap_.end() ? OverlapSample{} : it->second;
+}
+
+OverlapSample TrafficRecorder::overlap_total(const std::string& base) const {
+  std::lock_guard lock(mutex_);
+  OverlapSample acc;
+  for (const auto& [name, s] : overlap_) {
+    if (base_name(name) != base) continue;
+    acc.hidden += s.hidden;
+    acc.blocked += s.blocked;
+    acc.waits += s.waits;
+  }
+  return acc;
+}
+
+std::vector<std::string> TrafficRecorder::overlap_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(overlap_.size());
+  for (const auto& [name, s] : overlap_) names.push_back(name);
+  return names;
+}
+
 void TrafficRecorder::set_phase(const std::string& name, PhaseTraffic traffic) {
   SAGNN_REQUIRE(traffic.p == p_,
                 "set_phase geometry mismatch: recorder p=" + std::to_string(p_) +
@@ -154,6 +193,7 @@ void TrafficRecorder::set_phase(const std::string& name, PhaseTraffic traffic) {
 void TrafficRecorder::reset() {
   std::lock_guard lock(mutex_);
   phases_.clear();
+  overlap_.clear();
 }
 
 }  // namespace sagnn

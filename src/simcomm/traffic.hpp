@@ -49,6 +49,23 @@ struct PhaseTraffic {
   double send_imbalance_percent() const;
 };
 
+/// Measured wall-clock decomposition of a phase's nonblocking exchanges,
+/// summed over ranks and calls: `hidden` seconds of the post→wait windows
+/// were covered by other work (the overlap a pipelined schedule earned),
+/// `blocked` seconds were spent stalled inside wait(). Host wall-clock —
+/// compare fractions, not absolute seconds, against the alpha-beta model.
+struct OverlapSample {
+  double hidden = 0;
+  double blocked = 0;
+  std::uint64_t waits = 0;  ///< completed exchange waits aggregated here
+
+  /// hidden / (hidden + blocked); 0 when nothing was recorded.
+  double fraction() const {
+    const double window = hidden + blocked;
+    return window > 0 ? hidden / window : 0.0;
+  }
+};
+
 class TrafficRecorder {
  public:
   explicit TrafficRecorder(int p) : p_(p) {}
@@ -81,6 +98,17 @@ class TrafficRecorder {
   /// phases).
   PhaseTraffic phase_total(const std::string& base) const;
 
+  /// Record the measured outcome of one completed nonblocking exchange
+  /// under `phase` (stage-tagged names compose exactly like record()).
+  void record_overlap(const std::string& phase, double hidden, double blocked);
+
+  /// Measured overlap of one phase (zeroed if never recorded).
+  OverlapSample overlap(const std::string& name) const;
+  /// Sum of all recorded stages of `base` (mirrors phase_total()).
+  OverlapSample overlap_total(const std::string& base) const;
+  /// Phases with recorded overlap samples.
+  std::vector<std::string> overlap_names() const;
+
   /// Overwrite one phase's counters wholesale (checkpoint restore). The
   /// PhaseTraffic geometry must match this recorder's p.
   void set_phase(const std::string& name, PhaseTraffic traffic);
@@ -92,6 +120,9 @@ class TrafficRecorder {
   int p_;
   mutable std::mutex mutex_;
   std::map<std::string, PhaseTraffic> phases_;
+  /// Measured post→wait ledger. Deliberately NOT checkpointed: wall-clock
+  /// is a property of the host session, so restored runs restart it.
+  std::map<std::string, OverlapSample> overlap_;
 };
 
 }  // namespace sagnn

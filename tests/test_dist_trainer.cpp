@@ -8,17 +8,16 @@
 namespace sagnn {
 namespace {
 
-DistTrainerOptions base_options(const Dataset& ds, int epochs = 3) {
-  DistTrainerOptions opt;
-  opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
-  opt.gcn.learning_rate = 0.3f;
-  return opt;
+TrainConfig base_config(const Dataset& ds, DistAlgo algo, int epochs = 3) {
+  TrainConfig cfg;
+  cfg.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, epochs);
+  cfg.gcn.learning_rate = 0.3f;
+  cfg.strategy = strategy_name(algo);
+  return cfg;
 }
 
-// The historical DistTrainerOptions record maps onto the builder API,
-// which is what these plumbing tests exercise.
-TrainResult run_distributed(const Dataset& ds, const DistTrainerOptions& opt) {
-  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+TrainResult run_distributed(const Dataset& ds, const TrainConfig& cfg) {
+  auto trainer = TrainerBuilder(ds).config(cfg).build();
   trainer->train();
   return trainer->result();
 }
@@ -29,12 +28,11 @@ TEST(DistTrainer, RunsAllAlgorithmsAndPartitioners) {
                         DistAlgo::k15dOblivious, DistAlgo::k15dSparse}) {
     for (const char* partitioner : {"block", "random", "metis", "gvb"}) {
       SCOPED_TRACE(std::string(to_string(algo)) + " + " + partitioner);
-      DistTrainerOptions opt = base_options(ds, 2);
-      opt.algo = algo;
-      opt.p = 4;
-      opt.c = is_15d(algo) ? 2 : 1;
-      opt.partitioner = partitioner;
-      const auto result = run_distributed(ds, opt);
+      TrainConfig cfg = base_config(ds, algo, 2);
+      cfg.p = 4;
+      cfg.c = is_15d(algo) ? 2 : 1;
+      cfg.partitioner = partitioner;
+      const auto result = run_distributed(ds, cfg);
       ASSERT_EQ(result.epochs.size(), 2u);
       EXPECT_GT(result.epochs[0].loss, 0.0);
       EXPECT_GE(result.modeled_epoch.total(), 0.0);
@@ -44,26 +42,24 @@ TEST(DistTrainer, RunsAllAlgorithmsAndPartitioners) {
 
 TEST(DistTrainer, LossDecreases) {
   const Dataset ds = make_protein_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 15);
-  opt.algo = DistAlgo::k1dSparse;
-  opt.p = 4;
-  opt.partitioner = "metis";
-  const auto result = run_distributed(ds, opt);
+  TrainConfig cfg = base_config(ds, DistAlgo::k1dSparse, 15);
+  cfg.p = 4;
+  cfg.partitioner = "metis";
+  const auto result = run_distributed(ds, cfg);
   EXPECT_LT(result.epochs.back().loss, 0.9 * result.epochs.front().loss);
 }
 
 TEST(DistTrainer, PhaseVolumesMatchAlgorithmKind) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 2);
-  opt.p = 4;
+  TrainConfig cfg = base_config(ds, DistAlgo::k1dOblivious, 2);
+  cfg.p = 4;
 
-  opt.algo = DistAlgo::k1dOblivious;
-  const auto oblivious = run_distributed(ds, opt);
+  const auto oblivious = run_distributed(ds, cfg);
   EXPECT_GT(oblivious.phase_volumes.at("bcast").megabytes_per_epoch, 0.0);
   EXPECT_EQ(oblivious.phase_volumes.count("alltoall"), 0u);
 
-  opt.algo = DistAlgo::k1dSparse;
-  const auto sparse = run_distributed(ds, opt);
+  cfg.strategy = strategy_name(DistAlgo::k1dSparse);
+  const auto sparse = run_distributed(ds, cfg);
   EXPECT_GT(sparse.phase_volumes.at("alltoall").megabytes_per_epoch, 0.0);
   EXPECT_EQ(sparse.phase_volumes.count("bcast"), 0u);
   EXPECT_GT(sparse.setup_megabytes, 0.0);
@@ -73,29 +69,26 @@ TEST(DistTrainer, SparsityAwareCommunicatesLessWithPartitioning) {
   // The headline mechanism: SA+partitioner moves fewer bytes per epoch than
   // the oblivious baseline on a partitionable graph.
   const Dataset ds = make_protein_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 2);
-  opt.p = 4;
-
-  opt.algo = DistAlgo::k1dOblivious;
-  opt.partitioner = "block";
+  TrainConfig cfg = base_config(ds, DistAlgo::k1dOblivious, 2);
+  cfg.p = 4;
+  cfg.partitioner = "block";
   const double oblivious_mb =
-      run_distributed(ds, opt).phase_volumes.at("bcast").megabytes_per_epoch;
+      run_distributed(ds, cfg).phase_volumes.at("bcast").megabytes_per_epoch;
 
-  opt.algo = DistAlgo::k1dSparse;
-  opt.partitioner = "gvb";
+  cfg.strategy = strategy_name(DistAlgo::k1dSparse);
+  cfg.partitioner = "gvb";
   const double sa_mb =
-      run_distributed(ds, opt).phase_volumes.at("alltoall").megabytes_per_epoch;
+      run_distributed(ds, cfg).phase_volumes.at("alltoall").megabytes_per_epoch;
 
   EXPECT_LT(sa_mb, oblivious_mb);
 }
 
 TEST(DistTrainer, VolumeModelPopulated) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 1);
-  opt.algo = DistAlgo::k1dSparse;
-  opt.p = 4;
-  opt.partitioner = "metis";
-  const auto result = run_distributed(ds, opt);
+  TrainConfig cfg = base_config(ds, DistAlgo::k1dSparse, 1);
+  cfg.p = 4;
+  cfg.partitioner = "metis";
+  const auto result = run_distributed(ds, cfg);
   EXPECT_EQ(result.volume_model.k, 4);
   EXPECT_GT(result.volume_model.total_rows(), 0u);
   EXPECT_GE(result.partition_wall_seconds, 0.0);
@@ -104,11 +97,10 @@ TEST(DistTrainer, VolumeModelPopulated) {
 TEST(DistTrainer, Runs2dAlgorithms) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
   for (DistAlgo algo : {DistAlgo::k2dOblivious, DistAlgo::k2dSparse}) {
-    DistTrainerOptions opt = base_options(ds, 2);
-    opt.algo = algo;
-    opt.p = 9;  // 3x3 grid
-    opt.partitioner = "metis";
-    const auto result = run_distributed(ds, opt);
+    TrainConfig cfg = base_config(ds, algo, 2);
+    cfg.p = 9;  // 3x3 grid
+    cfg.partitioner = "metis";
+    const auto result = run_distributed(ds, cfg);
     EXPECT_EQ(result.epochs.size(), 2u);
     // The 2D algorithm always pays its Z all-reduce.
     EXPECT_GT(result.phase_volumes.at("allreduce").megabytes_per_epoch, 0.0);
@@ -117,26 +109,24 @@ TEST(DistTrainer, Runs2dAlgorithms) {
 
 TEST(DistTrainer, Rejects2dNonSquare) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 1);
-  opt.algo = DistAlgo::k2dSparse;
-  opt.p = 8;
-  EXPECT_THROW(run_distributed(ds, opt), Error);
+  TrainConfig cfg = base_config(ds, DistAlgo::k2dSparse, 1);
+  cfg.p = 8;
+  EXPECT_THROW(run_distributed(ds, cfg), Error);
 }
 
 TEST(DistTrainer, RejectsBadGrid) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 1);
-  opt.algo = DistAlgo::k15dSparse;
-  opt.p = 6;
-  opt.c = 2;  // c^2 = 4 does not divide 6
-  EXPECT_THROW(run_distributed(ds, opt), Error);
+  TrainConfig cfg = base_config(ds, DistAlgo::k15dSparse, 1);
+  cfg.p = 6;
+  cfg.c = 2;  // c^2 = 4 does not divide 6
+  EXPECT_THROW(run_distributed(ds, cfg), Error);
 }
 
 TEST(DistTrainer, RejectsMismatchedGcnDims) {
   const Dataset ds = make_amazon_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt = base_options(ds, 1);
-  opt.gcn.dims.back() += 1;
-  EXPECT_THROW(run_distributed(ds, opt), Error);
+  TrainConfig cfg = base_config(ds, DistAlgo::k1dSparse, 1);
+  cfg.gcn.dims.back() += 1;
+  EXPECT_THROW(run_distributed(ds, cfg), Error);
 }
 
 TEST(DistTrainer, AlgoNames) {

@@ -39,13 +39,12 @@ TEST_P(DistMatchesSerial, LossTrajectoriesAgree) {
   SerialTrainer serial(ds, cfg);
   const auto serial_metrics = serial.train();
 
-  DistTrainerOptions opt;
-  opt.gcn = cfg;
-  opt.algo = c.algo;
-  opt.p = c.p;
-  opt.c = c.c;
-  opt.partitioner = c.partitioner;
-  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+  auto trainer = TrainerBuilder(ds)
+                     .strategy(strategy_name(c.algo))
+                     .ranks(c.p, c.c)
+                     .partitioner(c.partitioner)
+                     .gcn(cfg)
+                     .build();
   trainer->train();
   const TrainResult dist = trainer->result();
 
@@ -145,14 +144,13 @@ TEST(Equivalence, ObliviousAndSparseProduceSameTrajectory) {
   // than with serial.
   const Dataset ds = make_protein_sim(DatasetScale::kTiny);
   GcnConfig cfg = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 4);
-  DistTrainerOptions opt;
-  opt.gcn = cfg;
-  opt.p = 4;
-  opt.partitioner = "metis";
-
   auto run = [&](DistAlgo algo) {
-    opt.algo = algo;
-    auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+    auto trainer = TrainerBuilder(ds)
+                       .strategy(strategy_name(algo))
+                       .ranks(4)
+                       .partitioner("metis")
+                       .gcn(cfg)
+                       .build();
     trainer->train();
     return trainer->result();
   };

@@ -74,13 +74,12 @@ TEST(Regularization, DistributedMatchesSerialWithDropoutAndDecay) {
   const auto sm = serial.train();
 
   for (DistAlgo algo : {DistAlgo::k1dSparse, DistAlgo::k15dSparse}) {
-    DistTrainerOptions opt;
-    opt.gcn = cfg;
-    opt.algo = algo;
-    opt.p = 4;
-    opt.c = is_15d(algo) ? 2 : 1;
-    opt.partitioner = "metis";
-    auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+    auto trainer = TrainerBuilder(ds)
+                       .strategy(strategy_name(algo))
+                       .ranks(4, is_15d(algo) ? 2 : 1)
+                       .partitioner("metis")
+                       .gcn(cfg)
+                       .build();
     trainer->train();
     const TrainResult dist = trainer->result();
     for (std::size_t e = 0; e < sm.size(); ++e) {

@@ -1,0 +1,209 @@
+// The request-based nonblocking runtime: out-of-order completion across
+// tags, deterministic per-(src, tag) matching independent of wait order,
+// zero-byte payloads through waitall, typed misuse errors, abandoned
+// receives, and abort safety with requests still pending.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "simcomm/cluster.hpp"
+#include "simcomm/collectives.hpp"
+#include "simcomm/comm.hpp"
+
+namespace sagnn {
+namespace {
+
+TEST(Request, OutOfOrderCompletionAcrossTags) {
+  // Rank 1 posts receives for tags 7 and 8, then waits them in the
+  // opposite order of posting. Each request must still complete with the
+  // message of ITS tag — matching is per (src, tag), not per mailbox.
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> a{111};
+      const std::vector<int> b{222};
+      comm.send<int>(1, 7, a, "p2p");
+      comm.send<int>(1, 8, b, "p2p");
+    } else {
+      Request on_tag7 = comm.irecv(0, 7);
+      Request on_tag8 = comm.irecv(0, 8);
+      const auto b = Comm::payload_as<int>(on_tag8.wait());
+      const auto a = Comm::payload_as<int>(on_tag7.wait());
+      EXPECT_EQ(a, std::vector<int>{111});
+      EXPECT_EQ(b, std::vector<int>{222});
+    }
+  });
+}
+
+TEST(Request, PostOrderDefinesTheStreamNotWaitOrder) {
+  // Three sends on one (src, tag) pair; three posted receives waited in
+  // reverse. The k-th POSTED receive must get the k-th SENT message.
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 3; ++k) {
+        const std::vector<int> msg{10 * (k + 1)};
+        comm.send<int>(1, 5, msg, "p2p");
+      }
+    } else {
+      std::vector<Request> posted;
+      for (int k = 0; k < 3; ++k) posted.push_back(comm.irecv(0, 5));
+      const auto third = Comm::payload_as<int>(posted[2].wait());
+      const auto second = Comm::payload_as<int>(posted[1].wait());
+      const auto first = Comm::payload_as<int>(posted[0].wait());
+      EXPECT_EQ(first, std::vector<int>{10});
+      EXPECT_EQ(second, std::vector<int>{20});
+      EXPECT_EQ(third, std::vector<int>{30});
+    }
+  });
+}
+
+TEST(Request, WaitallHandlesZeroBytePayloads) {
+  // Empty halos are legal messages; waitall must return empty payloads in
+  // request order, mixed freely with non-empty ones.
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> empty;
+      const std::vector<int> full{42, 43};
+      comm.send<int>(1, 3, empty, "p2p");
+      comm.send<int>(1, 4, full, "p2p");
+      comm.send<int>(1, 6, empty, "p2p");
+    } else {
+      std::vector<Request> reqs;
+      reqs.push_back(comm.irecv(0, 3));
+      reqs.push_back(comm.irecv(0, 4));
+      reqs.push_back(comm.irecv(0, 6));
+      WaitStats stats;
+      const auto payloads = waitall(reqs, &stats);
+      ASSERT_EQ(payloads.size(), 3u);
+      EXPECT_TRUE(payloads[0].empty());
+      EXPECT_EQ(Comm::payload_as<int>(payloads[1]),
+                (std::vector<int>{42, 43}));
+      EXPECT_TRUE(payloads[2].empty());
+      EXPECT_GE(stats.hidden + stats.blocked, 0.0);
+      for (const Request& r : reqs) EXPECT_FALSE(r.valid());
+    }
+  });
+}
+
+TEST(Request, DoubleWaitIsATypedError) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> msg{1};
+      comm.send<int>(1, 2, msg, "p2p");
+    } else {
+      Request req = comm.irecv(0, 2);
+      (void)req.wait();
+      EXPECT_THROW((void)req.wait(), RequestError);
+    }
+  });
+}
+
+TEST(Request, WaitOnEmptyHandleIsATypedError) {
+  Request empty;
+  EXPECT_THROW((void)empty.wait(), RequestError);
+  // A moved-from handle is empty too.
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> msg{9};
+      comm.send<int>(1, 2, msg, "p2p");
+    } else {
+      Request req = comm.irecv(0, 2);
+      Request stolen = std::move(req);
+      EXPECT_THROW((void)req.wait(), RequestError);
+      EXPECT_EQ(Comm::payload_as<int>(stolen.wait()), std::vector<int>{9});
+    }
+  });
+}
+
+TEST(Request, AbandonedReceiveDropsItsSlotOnly) {
+  // Destroying a pending receive unwaited releases its position in the
+  // (src, tag) stream: its matching message is dropped, and the NEXT
+  // posted receive still gets the NEXT message — whether the abandon
+  // happens before or after the messages arrive.
+  run_spmd(2, [](Comm& comm) {
+    for (const bool abandon_after_arrival : {false, true}) {
+      const long tag = abandon_after_arrival ? 11 : 12;
+      if (comm.rank() == 0) {
+        comm.barrier();
+        const std::vector<int> first{1};
+        const std::vector<int> second{2};
+        comm.send<int>(1, tag, first, "p2p");
+        comm.send<int>(1, tag, second, "p2p");
+        comm.barrier();
+      } else {
+        if (abandon_after_arrival) {
+          comm.barrier();  // messages deposited before the abandon
+          comm.barrier();
+          { Request dropped = comm.irecv(0, tag); }
+        } else {
+          { Request dropped = comm.irecv(0, tag); }  // abandon first
+          comm.barrier();
+          comm.barrier();
+        }
+        EXPECT_EQ(comm.recv<int>(0, tag), std::vector<int>{2});
+      }
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Request, IalltoallvMatchesBlockingAlltoallv) {
+  const int p = 4;
+  std::vector<std::vector<std::vector<float>>> blocking(p), nonblocking(p);
+  auto bufs_for = [p](int rank) {
+    std::vector<std::vector<float>> send(static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst) {
+      for (int i = 0; i <= dst; ++i) {
+        send[static_cast<std::size_t>(dst)].push_back(
+            static_cast<float>(100 * rank + 10 * dst + i));
+      }
+    }
+    return send;
+  };
+  run_spmd(p, [&](Comm& comm) {
+    blocking[static_cast<std::size_t>(comm.rank())] =
+        alltoallv<float>(comm, bufs_for(comm.rank()));
+  });
+  run_spmd(p, [&](Comm& comm) {
+    auto pending = ialltoallv<float>(comm, bufs_for(comm.rank()));
+    EXPECT_TRUE(pending.valid());
+    nonblocking[static_cast<std::size_t>(comm.rank())] = pending.wait();
+    EXPECT_FALSE(pending.valid());
+  });
+  EXPECT_EQ(blocking, nonblocking);
+}
+
+TEST(Request, AbortResolvesPendingWaitsWithoutDeadlock) {
+  // Rank 2 throws while every other rank is waiting on requests for
+  // messages that will never be sent. The abort must wake them all with
+  // AbortedError; a 5 s watchdog turns a regression into a failure
+  // instead of a hung suite.
+  std::atomic<bool> done{false};
+  std::thread runner([&] {
+    Cluster cluster(4);
+    EXPECT_THROW(
+        cluster.run([](Comm& comm) {
+          if (comm.rank() == 2) throw Error("rank 2 exploded");
+          Request never = comm.irecv(2, 13);
+          Request also_never = comm.irecv((comm.rank() + 1) % 4, 14);
+          EXPECT_THROW((void)never.wait(), AbortedError);
+          // Later waits on the aborted world fail the same way — abort is
+          // sticky, not a one-shot wakeup.
+          EXPECT_THROW((void)also_never.wait(), AbortedError);
+        }),
+        Error);
+    done.store(true);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(done.load()) << "abort failed to wake pending waits within 5s";
+  runner.join();
+}
+
+}  // namespace
+}  // namespace sagnn

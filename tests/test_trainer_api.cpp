@@ -227,19 +227,17 @@ TEST(Trainer, EveryModeReportsCompletedEpochCount) {
   }
 }
 
-TEST(DistAlgoShim, ToTrainConfigMapsEveryField) {
-  DistTrainerOptions opt;
-  opt.algo = DistAlgo::k15dSparse;
-  opt.p = 8;
-  opt.c = 2;
-  opt.partitioner = "gvb";
-  opt.gcn.dims = {4, 16, 16, 3};
-  const TrainConfig cfg = opt.to_train_config();
-  EXPECT_EQ(cfg.strategy, "1.5d-sparse");
-  EXPECT_EQ(cfg.p, 8);
-  EXPECT_EQ(cfg.c, 2);
-  EXPECT_EQ(cfg.partitioner, "gvb");
-  EXPECT_EQ(cfg.gcn.dims, opt.gcn.dims);
+TEST(DistAlgoShim, EveryAlgoNamesARegisteredStrategy) {
+  // The enum survives DistTrainerOptions' removal as a convenience
+  // vocabulary; each value must map onto a name the registry can build.
+  const auto names = strategy_registry().names();
+  for (DistAlgo algo :
+       {DistAlgo::k1dOblivious, DistAlgo::k1dSparse, DistAlgo::k15dOblivious,
+        DistAlgo::k15dSparse, DistAlgo::k2dOblivious, DistAlgo::k2dSparse}) {
+    const std::string name = strategy_name(algo);
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << to_string(algo) << " -> " << name;
+  }
 }
 
 TEST(PartitionerRegistryApi, NamesAreTheSupportedVocabulary) {

@@ -63,12 +63,13 @@ TEST(VolumeCrossCheck, TrainerReportsConsistentAlltoallVolume) {
   // times the number of SpMMs per epoch (2L-1 for an L-layer GCN: L forward
   // + L-1 backward), with layer widths f = {16, 16, classes} after layer 1.
   const Dataset ds = make_protein_sim(DatasetScale::kTiny);
-  DistTrainerOptions opt;
-  opt.algo = DistAlgo::k1dSparse;
-  opt.p = 4;
-  opt.partitioner = "metis";
-  opt.gcn = GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 2);
-  auto trainer = TrainerBuilder(ds).config(opt.to_train_config()).build();
+  auto trainer =
+      TrainerBuilder(ds)
+          .strategy(strategy_name(DistAlgo::k1dSparse))
+          .ranks(4)
+          .partitioner("metis")
+          .gcn(GcnConfig::paper_3layer(ds.n_features(), ds.n_classes, 2))
+          .build();
   trainer->train();
   const TrainResult result = trainer->result();
 
