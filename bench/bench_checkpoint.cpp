@@ -1,13 +1,20 @@
 // Preemption study for the checkpoint/restore subsystem (src/ckpt/):
-// inject a kill at a random epoch, snapshot, restore in a fresh trainer,
-// and measure what recovery costs — snapshot bytes, save/load wall-clock,
-// and (for distributed runs) the re-partition on load — while VERIFYING
-// the subsystem's core promise on every scenario:
+// inject a kill at a random epoch, recover, and measure what recovery
+// costs — snapshot bytes, save/recover wall-clock, and (for distributed
+// runs) the re-partition on load — while VERIFYING the subsystem's core
+// promise on every scenario:
 //
 //   * same-geometry resume is BITWISE identical to an uninterrupted run
 //     (loss trajectory, final weights, per-epoch phase volumes);
 //   * elastic restart (restore onto a different rank count p') resumes
 //     and still tracks the serial reference trajectory.
+//
+// Distributed kills ride the deterministic fault-injection layer
+// (simcomm/fault.hpp): a scheduled KillSpec aborts the world at the kill
+// epoch and DistributedTrainer::train()'s closed recovery loop restores
+// from the periodic auto-checkpoint — the same code path production jobs
+// take, not a synthetic save/reset reenactment. The serial scenario keeps
+// a manual snapshot/restore (there is no cluster to kill).
 //
 // Any violation exits nonzero so CI can gate on this binary. Results are
 // appended to BENCH_checkpoint.json (records: scenario, dataset, strategy,
@@ -20,6 +27,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -31,6 +39,7 @@
 #include "common/timer.hpp"
 #include "gnn/distributed_trainer.hpp"
 #include "gnn/serial_trainer.hpp"
+#include "simcomm/fault.hpp"
 
 using namespace sagnn;
 using namespace sagnn::bench;
@@ -135,7 +144,14 @@ TrainerBuilder configured(const Dataset& ds, const std::string& strategy, int p,
   return b;
 }
 
+std::string scratch_ckpt(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() / (stem + ".ckpt")).string();
+}
+
 /// One kill-at-epoch-k scenario: uninterrupted reference vs kill + resume.
+/// Serial jobs snapshot/restore by hand; distributed jobs take the real
+/// path — a FaultPlan KillSpec aborts the cluster at kill_epoch and
+/// train()'s recovery loop restores from the periodic auto-checkpoint.
 void run_preemption(const Dataset& ds, const std::string& strategy, int p,
                     const std::string& partitioner, int total_epochs,
                     int kill_epoch, Table& table) {
@@ -143,9 +159,6 @@ void run_preemption(const Dataset& ds, const std::string& strategy, int p,
 
   auto reference = configured(ds, strategy, p, partitioner, cfg).build();
   reference->train();
-
-  auto victim = configured(ds, strategy, p, partitioner, cfg).build();
-  for (int e = 0; e < kill_epoch; ++e) (void)victim->run_epoch();
 
   Record rec;
   rec.scenario = "resume";
@@ -157,28 +170,53 @@ void run_preemption(const Dataset& ds, const std::string& strategy, int p,
   rec.kill_epoch = kill_epoch;
   rec.total_epochs = total_epochs;
 
-  std::stringstream snapshot;
-  {
-    WallTimer t;
-    victim->save(snapshot);
-    rec.save_seconds = t.seconds();
+  std::unique_ptr<Trainer> survivor;
+  if (strategy == "serial") {
+    auto victim = configured(ds, strategy, p, partitioner, cfg).build();
+    for (int e = 0; e < kill_epoch; ++e) (void)victim->run_epoch();
+    std::stringstream snapshot;
+    {
+      WallTimer t;
+      victim->save(snapshot);
+      rec.save_seconds = t.seconds();
+    }
+    rec.snapshot_bytes = snapshot.str().size();
+    victim.reset();  // the preemption: only the snapshot survives
+    {
+      WallTimer t;
+      survivor = TrainerBuilder(ds).resume(snapshot);
+      rec.load_seconds = t.seconds();
+    }
+    survivor->train();
+  } else {
+    const std::string path = scratch_ckpt("bench_ckpt_preempt");
+    std::filesystem::remove(path);
+    FaultSpec spec;
+    spec.kills.push_back(KillSpec{kill_epoch, /*rank=*/p / 2,
+                                  /*after_sends=*/0, /*permanent=*/false});
+    survivor = configured(ds, strategy, p, partitioner, cfg)
+                   .auto_checkpoint(path, 1)
+                   .fault_plan(spec)
+                   .fault_recovery(FaultRecovery::kCheckpointRestart)
+                   .build();
+    survivor->train();
+    const RecoveryStats& rs = survivor->result().recovery;
+    rec.save_seconds = rs.last_save_seconds;
+    rec.load_seconds = rs.recovery_seconds;
+    rec.snapshot_bytes = static_cast<std::size_t>(rs.snapshot_bytes);
+    if (rs.kills != 1 || rs.restores != 1) {
+      std::cerr << "KILL NOT RECOVERED: " << strategy << " expected 1 kill/1 "
+                << "restore, got " << rs.kills << "/" << rs.restores << "\n";
+      ++g_violations;
+    }
+    std::filesystem::remove(path);
   }
-  rec.snapshot_bytes = snapshot.str().size();
-  victim.reset();  // the preemption: only the snapshot survives
+  rec.repartition_seconds = survivor->result().partition_wall_seconds;
 
-  std::unique_ptr<Trainer> resumed;
-  {
-    WallTimer t;
-    resumed = TrainerBuilder(ds).resume(snapshot);
-    rec.load_seconds = t.seconds();
-  }
-  resumed->train();
-  rec.repartition_seconds = resumed->result().partition_wall_seconds;
-
-  rec.ok = same_trajectory_bitwise(resumed->result().epochs,
+  rec.ok = same_trajectory_bitwise(survivor->result().epochs,
                                    reference->result().epochs) &&
-           same_weights(model_of(*resumed), model_of(*reference)) &&
-           same_phase_volumes(resumed->result(), reference->result());
+           same_weights(model_of(*survivor), model_of(*reference)) &&
+           same_phase_volumes(survivor->result(), reference->result());
   if (!rec.ok) {
     std::cerr << "BITWISE RESUME VIOLATION: " << strategy << " on " << ds.name
               << " killed at epoch " << kill_epoch << "\n";
@@ -193,7 +231,12 @@ void run_preemption(const Dataset& ds, const std::string& strategy, int p,
                  ms(rec.repartition_seconds), rec.ok ? "bitwise" : "FAIL"});
 }
 
-/// Elastic restart: snapshot at p, resume at p', verify serial parity.
+/// Elastic restart: kill at p, resume at an ARBITRARY p' (not just the
+/// p-1 the in-trainer recovery loop absorbs), verify serial parity. The
+/// kill is a FaultPlan KillSpec under FaultRecovery::kNone, so the typed
+/// RankKilledError reaches this harness, which plays the external job
+/// scheduler: it picks the new rank count and resumes the on-disk
+/// auto-checkpoint the victim left behind.
 void run_elastic(const Dataset& ds, const std::string& strategy, int p_from,
                  int p_to, const std::string& partitioner, int total_epochs,
                  int kill_epoch, Table& table) {
@@ -201,9 +244,6 @@ void run_elastic(const Dataset& ds, const std::string& strategy, int p_from,
 
   auto serial = configured(ds, "serial", 1, partitioner, cfg).build();
   const auto serial_metrics = serial->train();
-
-  auto victim = configured(ds, strategy, p_from, partitioner, cfg).build();
-  for (int e = 0; e < kill_epoch; ++e) (void)victim->run_epoch();
 
   Record rec;
   rec.scenario = "elastic";
@@ -215,22 +255,40 @@ void run_elastic(const Dataset& ds, const std::string& strategy, int p_from,
   rec.kill_epoch = kill_epoch;
   rec.total_epochs = total_epochs;
 
-  std::stringstream snapshot;
-  {
-    WallTimer t;
-    victim->save(snapshot);
-    rec.save_seconds = t.seconds();
+  const std::string path = scratch_ckpt("bench_ckpt_elastic");
+  std::filesystem::remove(path);
+  FaultSpec spec;
+  spec.kills.push_back(KillSpec{kill_epoch, /*rank=*/p_from / 2,
+                                /*after_sends=*/0, /*permanent=*/true});
+  auto victim = configured(ds, strategy, p_from, partitioner, cfg)
+                    .auto_checkpoint(path, 1)
+                    .fault_plan(spec)
+                    .build();  // FaultRecovery::kNone: the kill escapes
+  bool killed = false;
+  try {
+    victim->train();
+  } catch (const RankKilledError&) {
+    killed = true;
   }
-  rec.snapshot_bytes = snapshot.str().size();
-  victim.reset();
+  if (!killed) {
+    std::cerr << "SCHEDULED KILL NEVER FIRED: " << strategy << " p=" << p_from
+              << " epoch " << kill_epoch << "\n";
+    ++g_violations;
+  }
+  rec.save_seconds = victim->result().recovery.last_save_seconds;
+  rec.snapshot_bytes =
+      static_cast<std::size_t>(victim->result().recovery.snapshot_bytes);
+  victim.reset();  // the preemption: only the on-disk snapshot survives
 
   std::unique_ptr<Trainer> resumed;
   {
     WallTimer t;
+    std::ifstream snapshot(path, std::ios::binary);
     resumed = TrainerBuilder(ds).ranks(p_to).resume(snapshot);
     rec.load_seconds = t.seconds();
   }
   resumed->train();
+  std::filesystem::remove(path);
   rec.repartition_seconds = resumed->result().partition_wall_seconds;
 
   const auto& metrics = resumed->result().epochs;
@@ -261,11 +319,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   preamble("Checkpoint — preemption & elastic-restart study",
-           "Kills training at a random epoch, snapshots, restores in a\n"
-           "fresh trainer, and reports recovery overhead (snapshot bytes,\n"
-           "save/load wall-clock, re-partition cost). Same-geometry resume\n"
-           "is asserted BITWISE identical to an uninterrupted run; elastic\n"
-           "p->p' restarts are asserted serial-parity. Exit 1 on violation.");
+           "Schedules a FaultPlan rank kill at a random epoch and reports\n"
+           "recovery overhead (snapshot bytes, save/recover wall-clock,\n"
+           "re-partition cost). Distributed kills recover through train()'s\n"
+           "closed loop; elastic p->p' restarts resume the on-disk snapshot\n"
+           "by hand. Same-geometry resume is asserted BITWISE identical to\n"
+           "an uninterrupted run; elastic restarts are asserted\n"
+           "serial-parity. Exit 1 on violation.");
 
   const std::uint64_t seed = 20260730;
   std::cout << "kill-epoch seed: " << seed << (smoke ? " (smoke)" : "") << "\n";
@@ -281,7 +341,7 @@ int main(int argc, char** argv) {
   };
 
   print_banner(std::cout, ds.name + " — kill/resume recovery overhead");
-  Table table({"strategy", "p", "kill@", "snapshot", "save", "load",
+  Table table({"strategy", "p", "kill@", "snapshot", "save", "recover",
                "repartition", "verdict"});
 
   run_preemption(ds, "serial", 1, "", total_epochs, kill(), table);

@@ -1,6 +1,7 @@
 #include "gnn/distributed_trainer.hpp"
 
 #include <algorithm>
+#include <fstream>
 
 #include "ckpt/state_io.hpp"
 #include "common/timer.hpp"
@@ -25,6 +26,11 @@ struct DistributedTrainer::RankState {
 
 DistributedTrainer::DistributedTrainer(const Dataset& dataset, TrainConfig config)
     : config_(std::move(config)), dataset_(&dataset) {
+  initialize();
+}
+
+void DistributedTrainer::initialize() {
+  const Dataset& dataset = *dataset_;
   SAGNN_REQUIRE(config_.p >= 1, "need at least one rank");
   job_strategy_ = strategy_registry().create(config_.strategy);
   const int n_blocks = job_strategy_->n_blocks(config_.p, config_.c);
@@ -54,7 +60,10 @@ DistributedTrainer::DistributedTrainer(const Dataset& dataset, TrainConfig confi
   SAGNN_REQUIRE(total_train_ > 0, "dataset has no training vertices");
 
   // ---- Cluster + per-rank strategy setup. ----
-  cluster_ = std::make_unique<Cluster>(config_.p);
+  // Destruction order matters on re-initialization: the old RankStates
+  // hold communicators into the old world, so they go first.
+  states_.clear();
+  cluster_ = std::make_unique<Cluster>(config_.p, config_.fault_plan);
   states_.resize(static_cast<std::size_t>(config_.p));
   rank_cpu_seconds_.assign(static_cast<std::size_t>(config_.p), 0.0);
   const StrategyContext ctx = context();
@@ -89,7 +98,13 @@ std::string DistributedTrainer::name() const {
 EpochMetrics DistributedTrainer::run_epoch() {
   const int e = epoch_;
   EpochMetrics metrics;
+  // Arm scheduled kills for this epoch (single-threaded: no rank is inside
+  // the world between cluster rounds). Setup traffic above ran kill-free.
+  if (config_.fault_plan != nullptr) cluster_->world().begin_fault_epoch(e);
   cluster_->run([&](Comm& comm) {
+    // Epoch-boundary kill check (KillSpec::after_sends == 0 fires here,
+    // before any work of the epoch).
+    if (config_.fault_plan != nullptr) comm.world().poll_fault(comm.rank());
     RankState& st = *states_[static_cast<std::size_t>(comm.rank())];
     // Cross-layer pipelined strategies reset their epoch-wide stage
     // cursor here, so every epoch tags the same stage sequence.
@@ -264,11 +279,70 @@ void DistributedTrainer::restore(ckpt::Deserializer& d,
 
 const std::vector<EpochMetrics>& DistributedTrainer::train() {
   while (epoch_ < config_.gcn.epochs) {
-    run_epoch();
+    try {
+      run_epoch();
+    } catch (const RankKilledError& kill) {
+      if (config_.fault_recovery != FaultRecovery::kCheckpointRestart) throw;
+      recover_from_kill(kill);
+      continue;
+    }
     maybe_auto_checkpoint(epoch_);
   }
   finalize();
   return epochs_;
+}
+
+void DistributedTrainer::recover_from_kill(const RankKilledError& kill) {
+  WallTimer timer;
+  ++recovery_.kills;
+  // The aborted world's recorder dies with the cluster; bank its fault
+  // counters first (the snapshot we restore holds none — they are
+  // runtime-only).
+  faults_before_recovery_ += cluster_->traffic().fault_counters();
+  const int epochs_done_before = epoch_;
+
+  if (kill.permanent()) {
+    SAGNN_REQUIRE(config_.p > 1,
+                  "permanent kill of the last remaining rank is unsurvivable");
+    config_.p = config_.p - 1;
+    ++recovery_.elastic_restarts;
+  }
+
+  const std::string& path = auto_checkpoint_path();
+  std::ifstream snapshot;
+  if (!path.empty()) snapshot.open(path, std::ios::binary);
+
+  // Everything the kill poisoned — the aborted world, its mailboxes, and
+  // rank state possibly mid-gradient — is rebuilt from scratch for the
+  // (possibly reduced) geometry...
+  initialize();
+
+  if (snapshot.is_open() && snapshot.good()) {
+    // ...then the last complete snapshot is injected, exactly the
+    // TrainerBuilder::resume() flow. The auto-checkpoint's tmp+rename
+    // atomicity guarantees this file is never a torn write.
+    ckpt::Deserializer d(snapshot);
+    d.enter_section("config");
+    const TrainConfig saved = ckpt::read_train_config(d);
+    d.leave_section();
+    d.enter_section("dataset");
+    ckpt::check_dataset_fingerprint(d, *dataset_);
+    d.leave_section();
+    restore(d, saved);
+    d.finish();
+    ++recovery_.restores;
+  } else {
+    // Killed before the first auto-checkpoint (or none armed): cold
+    // restart — replay the whole run from epoch 0. Deterministic kernels
+    // and one-shot kills make the replayed trajectory identical.
+    epoch_ = 0;
+    epochs_.clear();
+    traffic_epoch_base_ = 0;
+    finalized_epochs_ = -1;
+    ++recovery_.cold_restarts;
+  }
+  recovery_.replayed_epochs += epochs_done_before - epoch_;
+  recovery_.recovery_seconds += timer.seconds();
 }
 
 const TrainResult& DistributedTrainer::result() {
@@ -316,6 +390,14 @@ void DistributedTrainer::finalize() {
   double max_cpu = 0;
   for (double s : smoothed) max_cpu = std::max(max_cpu, s * inv_epochs);
   result_.max_rank_cpu_seconds_per_epoch = max_cpu;
+
+  // Fault/recovery surfacing: counters accumulate across clusters torn
+  // down by kill recovery plus the live recorder.
+  result_.faults = faults_before_recovery_;
+  result_.faults += traffic.fault_counters();
+  result_.recovery = recovery_;
+  result_.recovery.last_save_seconds = last_auto_save_seconds();
+  result_.recovery.snapshot_bytes = last_auto_snapshot_bytes();
 }
 
 }  // namespace sagnn

@@ -30,6 +30,14 @@ class DistributedTrainer final : public Trainer {
   std::string name() const override;
   int epochs_run() const override { return epoch_; }
   EpochMetrics run_epoch() override;
+
+  /// All remaining epochs. With a fault plan installed and
+  /// FaultRecovery::kCheckpointRestart, this is the closed recovery loop:
+  /// an injected rank kill aborts the epoch, the trainer restores from the
+  /// last auto-checkpoint (elastically on p-1 ranks when the kill is
+  /// permanent; cold-restarts from epoch 0 when no snapshot exists yet)
+  /// and keeps training. Under FaultRecovery::kNone the typed
+  /// RankKilledError propagates to the caller.
   const std::vector<EpochMetrics>& train() override;
   const TrainResult& result() override;
 
@@ -54,6 +62,14 @@ class DistributedTrainer final : public Trainer {
   StrategyContext context() const {
     return {config_.p, config_.c, &a_, ranges_, config_.pipeline_chunks};
   }
+  /// Partition + permute the dataset for config_.p/c and spin up a fresh
+  /// cluster with per-rank strategy setup. The constructor's body, also
+  /// re-run by kill recovery (the aborted world, its mailboxes, and any
+  /// partial epoch state are garbage after a kill — everything is rebuilt,
+  /// then checkpoint state is injected via restore()).
+  void initialize();
+  /// Closed-loop recovery from one injected rank kill (see train()).
+  void recover_from_kill(const RankKilledError& kill);
   void finalize();
 
   TrainConfig config_;
@@ -82,6 +98,11 @@ class DistributedTrainer final : public Trainer {
   /// traffic is meaningless and accounting restarts fresh.
   int traffic_epoch_base_ = 0;
   int finalized_epochs_ = -1;  ///< epochs covered by result_; -1 = never
+
+  RecoveryStats recovery_;
+  /// Fault counters of clusters torn down by kill recovery (the live
+  /// cluster's recorder is added at finalize()).
+  FaultCounters faults_before_recovery_;
 };
 
 }  // namespace sagnn

@@ -6,6 +6,7 @@
 
 #include "ckpt/state_io.hpp"
 #include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "gnn/distributed_trainer.hpp"
 #include "gnn/sampled_trainer.hpp"
 #include "gnn/serial_trainer.hpp"
@@ -36,14 +37,19 @@ void Trainer::maybe_auto_checkpoint(int epochs_completed) {
   // this serves, whose failure mode is a killed process.)
   const std::string& path = auto_checkpoint_path_;
   const std::string tmp = path + ".tmp";
+  WallTimer save_timer;
   std::ofstream out(tmp, std::ios::binary);
   SAGNN_REQUIRE(out.good(), "cannot open " + tmp + " for auto-checkpoint");
   save(out);
   out.flush();
+  const auto bytes = out.tellp();
   out.close();
   SAGNN_REQUIRE(!out.fail(), "short write while auto-checkpointing to " + tmp);
   SAGNN_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
                 "cannot move auto-checkpoint into place at " + path);
+  last_auto_save_seconds_ = save_timer.seconds();
+  last_auto_snapshot_bytes_ =
+      bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0;
 }
 
 std::unique_ptr<Trainer> TrainerBuilder::instantiate(TrainConfig cfg) const {
@@ -109,6 +115,11 @@ std::unique_ptr<Trainer> TrainerBuilder::resume(std::istream& in) const {
   if (set_.auto_checkpoint) {
     cfg.auto_checkpoint_path = config_.auto_checkpoint_path;
     cfg.auto_checkpoint_every = config_.auto_checkpoint_every;
+  }
+  // Fault injection is runtime-only the same way.
+  if (set_.fault) {
+    cfg.fault_plan = config_.fault_plan;
+    cfg.fault_recovery = config_.fault_recovery;
   }
 
   std::unique_ptr<Trainer> trainer = instantiate(cfg);

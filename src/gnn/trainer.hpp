@@ -24,6 +24,7 @@
 // so a new strategy class becomes selectable here without touching any
 // trainer or driver code.
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -35,6 +36,7 @@
 #include "partition/metrics.hpp"
 #include "partition/partition.hpp"
 #include "simcomm/cost_model.hpp"
+#include "simcomm/fault.hpp"
 
 namespace sagnn {
 
@@ -54,6 +56,30 @@ struct EpochMetrics {
 struct PhaseVolume {
   double megabytes_per_epoch = 0;
   double messages_per_epoch = 0;
+};
+
+/// What train() does when an injected rank kill aborts an epoch
+/// (RankKilledError from the fault plan's KillSpec schedule).
+enum class FaultRecovery {
+  /// Rethrow the typed error to the caller (who may resume manually —
+  /// e.g. an elastic restart at an arbitrary new rank count).
+  kNone,
+  /// Closed loop: restore from the last auto-checkpoint (cold-restart
+  /// from epoch 0 if none exists yet) and continue training; permanent
+  /// kills restart elastically on p-1 ranks. Distributed mode only.
+  kCheckpointRestart,
+};
+
+/// Bookkeeping of train()'s kill-recovery loop (zero for fault-free runs).
+struct RecoveryStats {
+  int kills = 0;             ///< injected rank kills caught by train()
+  int restores = 0;          ///< successful auto-checkpoint restorations
+  int cold_restarts = 0;     ///< kills with no snapshot yet (replay from 0)
+  int elastic_restarts = 0;  ///< permanent kills absorbed on p-1 ranks
+  int replayed_epochs = 0;   ///< wasted work: epochs re-run after recovery
+  double recovery_seconds = 0;  ///< wall-clock rebuilding + restoring
+  double last_save_seconds = 0;       ///< most recent auto-checkpoint write
+  std::uint64_t snapshot_bytes = 0;   ///< size of that snapshot
 };
 
 /// Mini-batch sampling knobs (the "sampled" trainer mode).
@@ -117,6 +143,14 @@ struct TrainResult {
   double measured_overlap_fraction() const {
     return modeled_epoch.measured_overlap_fraction();
   }
+
+  /// Injected-fault event counters recorded by the runtime (drops,
+  /// retries, timeouts, suppressed duplicates, straggler seconds) —
+  /// accumulated across kill recoveries. All zero for fault-free runs.
+  FaultCounters faults;
+
+  /// Closed-loop recovery bookkeeping from train()'s kill-recovery loop.
+  RecoveryStats recovery;
 };
 
 /// Common trainer interface. Epoch-at-a-time stepping and whole-run
@@ -166,6 +200,19 @@ class Trainer {
   /// deliberately never triggers it.
   void maybe_auto_checkpoint(int epochs_completed);
 
+  /// The armed auto-checkpoint knobs (empty path / 0 when disabled) — the
+  /// kill-recovery loop restores from this path.
+  const std::string& auto_checkpoint_path() const {
+    return auto_checkpoint_path_;
+  }
+  int auto_checkpoint_every() const { return auto_checkpoint_every_; }
+  /// Wall-clock and size of the most recent auto-checkpoint write (0 until
+  /// one happened) — surfaced on TrainResult::recovery.
+  double last_auto_save_seconds() const { return last_auto_save_seconds_; }
+  std::uint64_t last_auto_snapshot_bytes() const {
+    return last_auto_snapshot_bytes_;
+  }
+
   friend class TrainerBuilder;
 
  private:
@@ -174,6 +221,8 @@ class Trainer {
 
   int auto_checkpoint_every_ = 0;
   std::string auto_checkpoint_path_;
+  double last_auto_save_seconds_ = 0;
+  std::uint64_t last_auto_snapshot_bytes_ = 0;
 };
 
 /// One configuration record subsuming the per-mode option structs.
@@ -210,6 +259,14 @@ struct TrainConfig {
   /// checkpoints — re-arm it on the resuming builder if wanted.
   int auto_checkpoint_every = 0;
   std::string auto_checkpoint_path;
+
+  /// Deterministic fault injection on the simulated cluster (stragglers,
+  /// lossy links, rank kills — see simcomm/fault.hpp); null = fault-free.
+  /// A runtime knob exactly like auto-checkpointing: deliberately NOT
+  /// serialized into checkpoints, so a resumed run re-arms it explicitly.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  /// What train() does when an injected kill aborts an epoch.
+  FaultRecovery fault_recovery = FaultRecovery::kNone;
 
   // --- sampled-mode options ---
   SamplingConfig sampling;
@@ -275,6 +332,23 @@ class TrainerBuilder {
     set_.auto_checkpoint = true;
     return *this;
   }
+  /// Install a deterministic fault plan on the simulated cluster (shared,
+  /// so the caller can keep a handle — e.g. to read kills_fired()).
+  TrainerBuilder& fault_plan(std::shared_ptr<const FaultPlan> plan) {
+    config_.fault_plan = std::move(plan);
+    set_.fault = true;
+    return *this;
+  }
+  /// Convenience: build the plan from a spec in place.
+  TrainerBuilder& fault_plan(FaultSpec spec) {
+    return fault_plan(FaultPlan::make(std::move(spec)));
+  }
+  /// Recovery policy for injected rank kills (see FaultRecovery).
+  TrainerBuilder& fault_recovery(FaultRecovery mode) {
+    config_.fault_recovery = mode;
+    set_.fault = true;
+    return *this;
+  }
   TrainerBuilder& sampling(SamplingConfig cfg) {
     config_.sampling = std::move(cfg);
     return *this;
@@ -307,7 +381,9 @@ class TrainerBuilder {
   ///                      checkpoint's replication factor),
   ///   * partitioner()/threads()/pipeline_chunks()/cost_model() — likewise;
   ///   * auto_checkpoint() — re-arms periodic snapshotting (the knob is
-  ///                         never stored in checkpoints).
+  ///                         never stored in checkpoints);
+  ///   * fault_plan()/fault_recovery() — re-arms fault injection
+  ///                         (likewise runtime-only, never stored).
   ///
   /// strategy() may be set but must match the checkpoint's strategy
   /// (changing the algorithm mid-run is a different experiment);
@@ -331,6 +407,7 @@ class TrainerBuilder {
     bool epochs = false;
     bool cost_model = false;
     bool auto_checkpoint = false;
+    bool fault = false;
   } set_;
 };
 

@@ -53,4 +53,11 @@ TrafficRecorder run_spmd(int p, const std::function<void(Comm&)>& fn) {
   return cluster.traffic();
 }
 
+TrafficRecorder run_spmd(int p, std::shared_ptr<const FaultPlan> plan,
+                         const std::function<void(Comm&)>& fn) {
+  Cluster cluster(p, std::move(plan));
+  cluster.run(fn);
+  return cluster.traffic();
+}
+
 }  // namespace sagnn

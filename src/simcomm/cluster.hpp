@@ -5,21 +5,32 @@
 // cannot deadlock the harness.
 
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "simcomm/comm.hpp"
 
 namespace sagnn {
 
+class FaultPlan;
+
 class Cluster {
  public:
   explicit Cluster(int p) : world_(p) {}
+
+  /// Cluster with a deterministic fault plan (fault.hpp) installed on the
+  /// world. Null or empty plans are bitwise identical to Cluster(p).
+  Cluster(int p, std::shared_ptr<const FaultPlan> plan) : world_(p) {
+    if (plan != nullptr) world_.install_fault_plan(std::move(plan));
+  }
 
   int p() const { return world_.size(); }
   CommWorld& world() { return world_; }
   TrafficRecorder& traffic() { return world_.traffic(); }
 
   /// Run `fn(comm)` on every rank; returns when all ranks finish. Rethrows
-  /// the first rank exception (by rank order) if any occurred.
+  /// the first rank exception (by rank order) if any occurred, preferring
+  /// the root cause (e.g. a RankKilledError) over secondary AbortedErrors.
   void run(const std::function<void(Comm&)>& fn);
 
  private:
@@ -29,5 +40,9 @@ class Cluster {
 /// One-shot convenience: build a cluster of size p, run fn, return the
 /// recorded traffic.
 TrafficRecorder run_spmd(int p, const std::function<void(Comm&)>& fn);
+
+/// run_spmd with a fault plan installed on the world.
+TrafficRecorder run_spmd(int p, std::shared_ptr<const FaultPlan> plan,
+                         const std::function<void(Comm&)>& fn);
 
 }  // namespace sagnn

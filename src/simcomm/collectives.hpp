@@ -206,16 +206,26 @@ class PendingAlltoall {
     comm_ = nullptr;
     std::vector<std::vector<T>> recv_bufs(recvs_.size());
     double blocked = 0;
+    double max_blocked = 0;
     for (std::size_t s = 0; s < recvs_.size(); ++s) {
       WaitStats stats;
-      recv_bufs[s] = Comm::payload_as<T>(recvs_[s].wait(&stats));
+      try {
+        recv_bufs[s] = Comm::payload_as<T>(recvs_[s].wait(&stats));
+      } catch (const AbortedError&) {
+        // World torn down mid-exchange (e.g. an injected rank kill):
+        // resolve the remaining handles too so none leaks its stream slot,
+        // then surface the abort.
+        resolve_aborted(recvs_);
+        throw;
+      }
       blocked += stats.blocked;
+      max_blocked = std::max(max_blocked, stats.blocked);
     }
     // The exchange was outstanding from post to now; whatever of that
     // window was not stalled inside wait() was covered by useful work.
     const double window = CommWorld::now_seconds() - posted_at_;
     comm->world().traffic().record_overlap(phase_, std::max(0.0, window - blocked),
-                                           blocked);
+                                           blocked, max_blocked);
     return recv_bufs;
   }
 

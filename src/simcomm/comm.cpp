@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+
+#include "simcomm/fault.hpp"
 
 namespace sagnn {
+
+namespace {
+std::chrono::duration<double> secs(double s) {
+  return std::chrono::duration<double>(s);
+}
+}  // namespace
 
 CommWorld::CommWorld(int size) : size_(size), traffic_(size) {
   SAGNN_REQUIRE(size > 0, "world size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void CommWorld::install_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+  fault_plan_ = std::move(plan);
+  if (fault_plan_ != nullptr && epoch_sends_ == nullptr) {
+    epoch_sends_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) epoch_sends_[static_cast<std::size_t>(r)] = 0;
+  }
+}
+
+void CommWorld::begin_fault_epoch(int epoch) {
+  SAGNN_REQUIRE(epoch >= 0, "fault epoch must be >= 0");
+  if (fault_plan_ == nullptr) return;
+  for (int r = 0; r < size_; ++r) {
+    epoch_sends_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
+  }
+  fault_epoch_.store(epoch, std::memory_order_release);
+}
+
+void CommWorld::poll_fault(int rank) {
+  const FaultPlan* plan = fault_plan_.get();
+  if (plan == nullptr || !plan->has_kills()) return;
+  const int epoch = fault_epoch_.load(std::memory_order_acquire);
+  if (epoch < 0) return;
+  plan->maybe_kill(
+      rank, epoch,
+      epoch_sends_[static_cast<std::size_t>(rank)].load(std::memory_order_relaxed));
 }
 
 double CommWorld::now_seconds() {
@@ -17,14 +54,44 @@ double CommWorld::now_seconds() {
       .count();
 }
 
+bool CommWorld::deposit(Mailbox& box, Message&& msg) {
+  const bool duplicate =
+      std::any_of(box.messages.begin(), box.messages.end(), [&](const Message& m) {
+        return m.src == msg.src && m.tag == msg.tag && m.seq == msg.seq;
+      });
+  if (!duplicate) box.messages.push_back(std::move(msg));
+  return !duplicate;
+}
+
 Request CommWorld::isend(int src, int dst, long tag,
                          std::span<const std::byte> data,
                          const std::string& phase) {
   SAGNN_REQUIRE(src >= 0 && src < size_ && dst >= 0 && dst < size_,
                 "send rank out of range");
+  const FaultPlan* plan = fault_plan_.get();
+  if (plan != nullptr && src != dst) {
+    // Scheduled kills fire on the victim's own thread at its send
+    // boundaries (the epoch-top poll covers the after_sends == 0 case).
+    const int epoch = fault_epoch_.load(std::memory_order_acquire);
+    if (epoch >= 0 && plan->has_kills()) {
+      const std::uint64_t done = epoch_sends_[static_cast<std::size_t>(src)]
+                                     .fetch_add(1, std::memory_order_relaxed);
+      plan->maybe_kill(src, epoch, done);
+    }
+    // Straggler: the slow rank pays its delay before every cross-rank
+    // send, so its peers' blocked time rises in the overlap ledger exactly
+    // as a real straggler's would.
+    const double delay = plan->send_delay(src);
+    if (delay > 0) {
+      std::this_thread::sleep_for(secs(delay));
+      traffic_.record_straggler(delay);
+    }
+  }
   traffic_.record(phase, src, dst, data.size());
   const double sent_at = now_seconds();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  bool dropped = false;
+  bool duplicated = false;
   {
     std::lock_guard lock(box.mutex);
     const auto key = std::make_pair(src, tag);
@@ -35,10 +102,28 @@ Request CommWorld::isend(int src, int dst, long tag,
       // The receive for this slot was destroyed unwaited; drop the payload
       // so later slots keep matching their own messages.
       if (abandoned_it->second.empty()) box.abandoned.erase(abandoned_it);
+    } else if (plan != nullptr && plan->should_drop(src, dst, tag, seq, 1)) {
+      // The link swallowed the transmission. The payload parks in the
+      // receiver's retransmit store — it still consumed its arrival seq,
+      // so the retransmission matches the same posted receive.
+      box.dropped.emplace(std::make_tuple(src, tag, seq),
+                          DroppedMessage{1, sent_at, {data.begin(), data.end()}});
+      dropped = true;
     } else {
-      box.messages.push_back({src, tag, seq, sent_at, {data.begin(), data.end()}});
+      Message msg{src, tag, seq, sent_at, {data.begin(), data.end()}};
+      if (plan != nullptr && plan->should_duplicate(src, dst, tag, seq, 1)) {
+        // A flaky link delivers twice; the redundant copy must be
+        // suppressed by its sequence number.
+        Message copy = msg;
+        (void)deposit(box, std::move(msg));
+        duplicated = !deposit(box, std::move(copy));
+      } else {
+        (void)deposit(box, std::move(msg));
+      }
     }
   }
+  if (dropped) traffic_.record_fault_drop();
+  if (duplicated) traffic_.record_fault_duplicate();
   box.cv.notify_all();
   return Request(this, Request::Kind::kSend, dst, src, tag, 0, sent_at);
 }
@@ -69,6 +154,8 @@ std::vector<std::byte> CommWorld::wait_recv(int me, int src, long tag,
                                             WaitStats* stats) {
   const double wait_begin = now_seconds();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
+  const FaultPlan* plan = fault_plan_.get();
+  const bool lossy = plan != nullptr && plan->lossy(src, me);
   std::unique_lock lock(box.mutex);
   for (;;) {
     auto it = std::find_if(box.messages.begin(), box.messages.end(),
@@ -89,7 +176,72 @@ std::vector<std::byte> CommWorld::wait_recv(int me, int src, long tag,
       return data;
     }
     if (aborted()) throw AbortedError();
-    box.cv.wait(lock);
+    if (!lossy) {
+      box.cv.wait(lock);
+      continue;
+    }
+
+    // Lossy link: never block forever on a message the link may have
+    // swallowed. Time out (exponential backoff per attempt), consult the
+    // retransmit store, and drive the bounded-retry protocol. Timing only
+    // affects wall-clock — drop outcomes are hash-keyed by attempt number,
+    // so the delivered payload stream is deterministic.
+    const auto key = std::make_tuple(src, tag, seq);
+    auto parked = box.dropped.find(key);
+    if (parked == box.dropped.end()) {
+      // Nothing known-dropped for this slot: the message may simply not
+      // have been sent yet. Poll with the base timeout so a later drop is
+      // noticed (a real receiver cannot tell the two cases apart either).
+      if (box.cv.wait_for(lock, secs(plan->retry_timeout(1))) ==
+          std::cv_status::timeout) {
+        traffic_.record_fault_timeout();
+      }
+      continue;
+    }
+    const std::uint64_t attempts = parked->second.attempts;
+    if (attempts >= static_cast<std::uint64_t>(plan->max_attempts())) {
+      box.dropped.erase(parked);
+      throw FaultError("link " + std::to_string(src) + "->" +
+                       std::to_string(me) + " lost message (tag " +
+                       std::to_string(tag) + ", seq " + std::to_string(seq) +
+                       "): retry budget of " +
+                       std::to_string(plan->max_attempts()) +
+                       " attempts exhausted");
+    }
+    // Back off for this attempt's full timeout before the retransmission
+    // fires. Notifies for unrelated traffic on this mailbox must not cut
+    // the backoff short: nothing but our own retransmission can deliver
+    // this (src, tag, seq) slot, and the protocol invariant
+    // timeouts >= retries holds only if every retry is timeout-driven.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            secs(plan->retry_timeout(attempts)));
+    while (box.cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+      if (aborted()) throw AbortedError();
+    }
+    traffic_.record_fault_timeout();
+    if (aborted()) throw AbortedError();
+    parked = box.dropped.find(key);  // wait_for released the lock
+    if (parked == box.dropped.end()) continue;
+    const std::uint64_t attempt = ++parked->second.attempts;
+    traffic_.record_fault_retry();
+    // The retransmission puts real bytes back on the wire; account them.
+    traffic_.record("retry", src, me, parked->second.data.size());
+    if (plan->should_drop(src, me, tag, seq, attempt)) {
+      traffic_.record_fault_drop();
+      continue;  // dropped again; the next cycle backs off longer
+    }
+    Message msg{src, tag, seq, now_seconds(), std::move(parked->second.data)};
+    box.dropped.erase(parked);
+    if (plan->should_duplicate(src, me, tag, seq, attempt)) {
+      Message copy = msg;
+      (void)deposit(box, std::move(msg));
+      if (!deposit(box, std::move(copy))) traffic_.record_fault_duplicate();
+    } else {
+      (void)deposit(box, std::move(msg));
+    }
+    // Delivered: the next loop iteration claims it.
   }
 }
 
@@ -102,7 +254,9 @@ void CommWorld::abandon_recv(int me, int src, long tag, std::uint64_t seq) {
                          });
   if (it != box.messages.end()) {
     box.messages.erase(it);
-  } else {
+  } else if (box.dropped.erase(std::make_tuple(src, tag, seq)) == 0) {
+    // Not arrived and not parked in the retransmit store: mark the slot so
+    // the future arrival is dropped on sight.
     box.abandoned[std::make_pair(src, tag)].insert(seq);
   }
 }
@@ -132,13 +286,31 @@ void Request::release() {
   state_ = State::kEmpty;
 }
 
+void resolve_aborted(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (!r.valid()) continue;
+    try {
+      (void)r.wait();  // immediate: waits on an aborted world never block
+    } catch (const AbortedError&) {
+    }
+  }
+}
+
 std::vector<std::vector<std::byte>> waitall(std::span<Request> requests,
                                             WaitStats* accumulated) {
   std::vector<std::vector<std::byte>> payloads;
   payloads.reserve(requests.size());
   for (Request& r : requests) {
     WaitStats stats;
-    payloads.push_back(r.wait(&stats));
+    try {
+      payloads.push_back(r.wait(&stats));
+    } catch (const AbortedError&) {
+      // The world died between two completions. Resolve every remaining
+      // handle the same way so none of them leaks its stream slot through
+      // the destructor's abandon path, then surface the abort.
+      resolve_aborted(requests);
+      throw;
+    }
     if (accumulated != nullptr) {
       accumulated->hidden += stats.hidden;
       accumulated->blocked += stats.blocked;

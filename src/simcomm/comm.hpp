@@ -42,6 +42,7 @@
 #include <mutex>
 #include <set>
 #include <span>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -49,6 +50,8 @@
 #include "simcomm/traffic.hpp"
 
 namespace sagnn {
+
+class FaultPlan;
 
 /// Thrown out of blocked receives when the cluster is torn down after
 /// another rank failed; prevents deadlock on rank errors.
@@ -176,6 +179,24 @@ class CommWorld {
   void abort();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
+  /// Install a deterministic fault plan (fault.hpp). Null (the default)
+  /// and an installed-but-empty plan are bitwise identical: every fault
+  /// path is behind the null check AND the plan's own probabilities/specs.
+  /// Call before any traffic; shared so drivers can inspect the plan.
+  void install_fault_plan(std::shared_ptr<const FaultPlan> plan);
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  /// Arm scheduled kills for `epoch` and zero the per-rank send counters
+  /// their `after_sends` thresholds count against. Call single-threaded
+  /// between SPMD rounds (no rank may be inside the world). Kills stay
+  /// disarmed (setup traffic runs kill-free) until the first call.
+  void begin_fault_epoch(int epoch);
+
+  /// Kill check at a schedule boundary (e.g. the top of an epoch): throws
+  /// RankKilledError if a scheduled kill for `rank` in the armed epoch is
+  /// due. Sends perform the same check implicitly.
+  void poll_fault(int rank);
+
   /// Steady-clock seconds (arbitrary epoch) — the clock every WaitStats
   /// figure is expressed in.
   static double now_seconds();
@@ -190,6 +211,15 @@ class CommWorld {
     double sent_at;     ///< now_seconds() at deposit
     std::vector<std::byte> data;
   };
+  /// A message a lossy link swallowed, parked in the RECEIVER's mailbox
+  /// so the whole retry protocol runs under the one mailbox lock. The
+  /// retransmission carries the original sequence number — deterministic
+  /// (src, tag) matching is preserved underneath the faults.
+  struct DroppedMessage {
+    std::uint64_t attempts = 0;  ///< transmissions so far (all dropped)
+    double sent_at = 0;
+    std::vector<std::byte> data;
+  };
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
@@ -200,7 +230,15 @@ class CommWorld {
     /// Slots whose receive was destroyed unwaited: the matching arrival is
     /// dropped on sight so later slots keep matching their own messages.
     std::map<std::pair<int, long>, std::set<std::uint64_t>> abandoned;
+    /// Retransmit store of the retry protocol, keyed (src, tag, seq).
+    std::map<std::tuple<int, long, std::uint64_t>, DroppedMessage> dropped;
   };
+
+  /// Deliver a message into the mailbox unless an identical (src, tag,
+  /// seq) copy is already present — a redundant retransmission, suppressed
+  /// by sequence number. Caller holds the mailbox lock; returns false on
+  /// suppression.
+  static bool deposit(Mailbox& box, Message&& msg);
 
   /// Request::wait() for receives: claim the (src, tag, seq) message.
   std::vector<std::byte> wait_recv(int me, int src, long tag, std::uint64_t seq,
@@ -212,13 +250,28 @@ class CommWorld {
   TrafficRecorder traffic_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> aborted_{false};
+  /// Fault injection (null = fault-free fast path, bit-identical runtime).
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  std::atomic<int> fault_epoch_{-1};  ///< kills armed only when >= 0
+  /// Per-rank cross-rank sends completed in the armed epoch (KillSpec::
+  /// after_sends thresholds count these).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> epoch_sends_;
 };
 
 /// Wait on every request in order; returns the payloads (empty vectors for
 /// sends). When `accumulated` is non-null the per-request hidden/blocked
-/// times are summed into it.
+/// times are summed into it. If the world aborts mid-batch, every
+/// remaining handle is resolved to AbortedError too (no stream slot is
+/// left to be abandoned against the torn-down world) and the AbortedError
+/// is rethrown.
 std::vector<std::vector<std::byte>> waitall(std::span<Request> requests,
                                             WaitStats* accumulated = nullptr);
+
+/// Consume every still-pending request of an ABORTED world, swallowing the
+/// AbortedError each wait raises (immediate — aborted waits never block).
+/// Batch primitives call this before surfacing the abort so no destructor
+/// abandons a slot against the torn-down stream.
+void resolve_aborted(std::span<Request> requests);
 
 /// A communicator: an ordered subset of world ranks plus this thread's
 /// position in it. Cheap to copy. All collective operations live in

@@ -82,6 +82,8 @@ void EpochCost::scale(double factor) {
   alltoall_bytes *= factor;
   // The fraction is scale-invariant; scaling the terms keeps the hidden/
   // blocked seconds themselves per-epoch like every other field.
+  // measured_max_blocked is a per-wait maximum, not a per-run sum, so
+  // per-epoch averaging must not touch it.
   measured_hidden *= factor;
   measured_blocked *= factor;
 }
@@ -129,6 +131,7 @@ EpochCost epoch_cost(const CostModel& model, const TrafficRecorder& traffic,
     const OverlapSample s = traffic.overlap(name);
     cost.measured_hidden += s.hidden;
     cost.measured_blocked += s.blocked;
+    cost.measured_max_blocked = std::max(cost.measured_max_blocked, s.max_blocked);
   }
   return cost;
 }

@@ -119,6 +119,11 @@ struct EpochCost {
   /// resumes restart the measurement.
   double measured_hidden = 0;
   double measured_blocked = 0;
+  /// Longest SINGLE stalled wait (host seconds) across all exchanges — the
+  /// host's straggler bound: one late deposit caps how much of any window
+  /// a schedule can hide, which is what the measured fraction saturates at
+  /// when K grows deep. A max, not a sum; scale() leaves it alone.
+  double measured_max_blocked = 0;
 
   /// Measured share of the outstanding-communication time that was hidden
   /// behind useful work, hidden / (hidden + blocked). The schedule model's

@@ -61,21 +61,25 @@ TrafficRecorder::TrafficRecorder(const TrafficRecorder& other) : p_(other.p_) {
   std::lock_guard lock(other.mutex_);
   phases_ = other.phases_;
   overlap_ = other.overlap_;
+  faults_ = other.faults_;
 }
 
 TrafficRecorder& TrafficRecorder::operator=(const TrafficRecorder& other) {
   if (this == &other) return *this;
   std::map<std::string, PhaseTraffic> snapshot;
   std::map<std::string, OverlapSample> overlap_snapshot;
+  FaultCounters faults_snapshot;
   {
     std::lock_guard lock(other.mutex_);
     snapshot = other.phases_;
     overlap_snapshot = other.overlap_;
+    faults_snapshot = other.faults_;
   }
   std::lock_guard lock(mutex_);
   p_ = other.p_;
   phases_ = std::move(snapshot);
   overlap_ = std::move(overlap_snapshot);
+  faults_ = faults_snapshot;
   return *this;
 }
 
@@ -148,12 +152,43 @@ std::vector<std::string> TrafficRecorder::phase_names() const {
 }
 
 void TrafficRecorder::record_overlap(const std::string& phase, double hidden,
-                                     double blocked) {
+                                     double blocked, double max_blocked) {
   std::lock_guard lock(mutex_);
   OverlapSample& s = overlap_[phase];
   s.hidden += hidden;
   s.blocked += blocked;
   s.waits += 1;
+  s.max_blocked = std::max(s.max_blocked, max_blocked);
+}
+
+void TrafficRecorder::record_fault_drop() {
+  std::lock_guard lock(mutex_);
+  ++faults_.drops;
+}
+
+void TrafficRecorder::record_fault_retry() {
+  std::lock_guard lock(mutex_);
+  ++faults_.retries;
+}
+
+void TrafficRecorder::record_fault_timeout() {
+  std::lock_guard lock(mutex_);
+  ++faults_.timeouts;
+}
+
+void TrafficRecorder::record_fault_duplicate() {
+  std::lock_guard lock(mutex_);
+  ++faults_.duplicates;
+}
+
+void TrafficRecorder::record_straggler(double seconds) {
+  std::lock_guard lock(mutex_);
+  faults_.straggler_seconds += seconds;
+}
+
+FaultCounters TrafficRecorder::fault_counters() const {
+  std::lock_guard lock(mutex_);
+  return faults_;
 }
 
 OverlapSample TrafficRecorder::overlap(const std::string& name) const {
@@ -170,6 +205,7 @@ OverlapSample TrafficRecorder::overlap_total(const std::string& base) const {
     acc.hidden += s.hidden;
     acc.blocked += s.blocked;
     acc.waits += s.waits;
+    acc.max_blocked = std::max(acc.max_blocked, s.max_blocked);
   }
   return acc;
 }
@@ -194,6 +230,7 @@ void TrafficRecorder::reset() {
   std::lock_guard lock(mutex_);
   phases_.clear();
   overlap_.clear();
+  faults_ = FaultCounters{};
 }
 
 }  // namespace sagnn

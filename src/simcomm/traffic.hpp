@@ -58,11 +58,39 @@ struct OverlapSample {
   double hidden = 0;
   double blocked = 0;
   std::uint64_t waits = 0;  ///< completed exchange waits aggregated here
+  /// Longest single stalled wait (seconds) among the aggregated exchanges —
+  /// the host's straggler bound: one slow rank's deposit caps how much of
+  /// the window any schedule could ever hide.
+  double max_blocked = 0;
 
   /// hidden / (hidden + blocked); 0 when nothing was recorded.
   double fraction() const {
     const double window = hidden + blocked;
     return window > 0 ? hidden / window : 0.0;
+  }
+};
+
+/// Injected-fault event counters (whole-run totals over all ranks). Like
+/// the overlap ledger these are deliberately NOT checkpointed — they count
+/// what this process's runtime actually injected.
+struct FaultCounters {
+  std::uint64_t drops = 0;       ///< send attempts a lossy link swallowed
+  std::uint64_t retries = 0;     ///< retransmissions posted after timeouts
+  std::uint64_t timeouts = 0;    ///< receive-side timeout expiries
+  std::uint64_t duplicates = 0;  ///< redundant deliveries suppressed by seq
+  double straggler_seconds = 0;  ///< injected send-side straggler delay
+
+  bool any() const {
+    return drops > 0 || retries > 0 || timeouts > 0 || duplicates > 0 ||
+           straggler_seconds > 0;
+  }
+  FaultCounters& operator+=(const FaultCounters& o) {
+    drops += o.drops;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    duplicates += o.duplicates;
+    straggler_seconds += o.straggler_seconds;
+    return *this;
   }
 };
 
@@ -100,7 +128,18 @@ class TrafficRecorder {
 
   /// Record the measured outcome of one completed nonblocking exchange
   /// under `phase` (stage-tagged names compose exactly like record()).
-  void record_overlap(const std::string& phase, double hidden, double blocked);
+  /// `max_blocked` is the longest single stalled wait within the exchange.
+  void record_overlap(const std::string& phase, double hidden, double blocked,
+                      double max_blocked = 0);
+
+  /// Fault-injection event counters (see fault.hpp). All zero unless a
+  /// FaultPlan is installed and actually injecting.
+  void record_fault_drop();
+  void record_fault_retry();
+  void record_fault_timeout();
+  void record_fault_duplicate();
+  void record_straggler(double seconds);
+  FaultCounters fault_counters() const;
 
   /// Measured overlap of one phase (zeroed if never recorded).
   OverlapSample overlap(const std::string& name) const;
@@ -123,6 +162,8 @@ class TrafficRecorder {
   /// Measured post→wait ledger. Deliberately NOT checkpointed: wall-clock
   /// is a property of the host session, so restored runs restart it.
   std::map<std::string, OverlapSample> overlap_;
+  /// Injected-fault counters; not checkpointed for the same reason.
+  FaultCounters faults_;
 };
 
 }  // namespace sagnn

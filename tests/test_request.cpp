@@ -205,5 +205,49 @@ TEST(Request, AbortResolvesPendingWaitsWithoutDeadlock) {
   runner.join();
 }
 
+TEST(Request, WaitallMidBatchAbortResolvesEveryRemainingHandle) {
+  // waitall is mid-batch when the world aborts: requests 0-1 have messages
+  // already delivered, 2-3 never will. The batch must complete the
+  // deliverable prefix, throw AbortedError once, and leave EVERY handle
+  // consumed (!valid()) — a half-drained batch would leak (src, tag)
+  // stream slots into any later recovery on the same world.
+  std::atomic<bool> done{false};
+  std::thread runner([&] {
+    Cluster cluster(2);
+    EXPECT_THROW(
+        cluster.run([](Comm& comm) {
+          if (comm.rank() == 0) {
+            const std::vector<int> a{1};
+            const std::vector<int> b{2};
+            comm.send<int>(1, 11, a, "p2p");
+            comm.send<int>(1, 12, b, "p2p");
+            // Release rank 1 into its waitall only after both deliverable
+            // messages are in its mailbox, then kill the world.
+            comm.send<int>(1, 99, a, "p2p");
+            throw Error("rank 0 exploded mid-batch");
+          }
+          std::vector<Request> reqs;
+          reqs.push_back(comm.irecv(0, 11));
+          reqs.push_back(comm.irecv(0, 12));
+          reqs.push_back(comm.irecv(0, 13));  // never sent
+          reqs.push_back(comm.irecv(0, 14));  // never sent
+          (void)comm.recv<int>(0, 99);
+          EXPECT_THROW((void)waitall(reqs), AbortedError);
+          for (const Request& r : reqs) {
+            EXPECT_FALSE(r.valid()) << "leaked handle after aborted waitall";
+          }
+        }),
+        Error);
+    done.store(true);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(done.load()) << "aborted waitall failed to resolve within 5s";
+  runner.join();
+}
+
 }  // namespace
 }  // namespace sagnn
