@@ -41,7 +41,8 @@ EpochCost run_2d_epoch(const Dataset& ds, int p, SpmmMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (handle_list_flag(argc, argv)) return 0;
   preamble("Ablation — decomposition choice (1D vs 1.5D vs 2D)",
            "Same dataset, sparsity-aware everywhere; perfect-square process\n"
            "counts so the 2D grid exists. '2D' covers the 5 SpMMs of a\n"

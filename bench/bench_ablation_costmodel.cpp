@@ -21,7 +21,8 @@ struct ModelVariant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (handle_list_flag(argc, argv)) return 0;
   preamble("Ablation — cost-model sensitivity",
            "CAGNET vs SA vs SA+GVB ranking on amazon-sim (p=64) under\n"
            "perturbed network parameters. Volumes are identical across\n"

@@ -432,6 +432,7 @@ void run_scale_sweep(std::vector<ScaleRecord>& records, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (handle_list_flag(argc, argv)) return 0;
   bool skip_scale = false;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {

@@ -18,6 +18,7 @@
 using namespace sagnn;
 
 int main(int argc, char** argv) {
+  if (handle_list_flag(argc, argv)) return 0;
   const std::string name = argc > 1 ? argv[1] : "protein";
   const Dataset ds = make_dataset(name, DatasetScale::kSmall);
   std::cout << "communication what-if for " << ds.name << " (n="

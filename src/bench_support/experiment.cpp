@@ -1,6 +1,11 @@
 #include "bench_support/experiment.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <iostream>
+
+#include "gnn/strategy.hpp"
+#include "partition/partitioner_registry.hpp"
 
 namespace sagnn {
 
@@ -54,6 +59,22 @@ TrainResult run_experiment(const Dataset& dataset, const ExperimentSpec& spec) {
     trainer->save(out);
   }
   return trainer->result();
+}
+
+void print_registry_catalog(std::ostream& out) {
+  out << "strategies:   " << strategy_registry().catalog() << "\n"
+      << "trainer modes: serial, sampled (built-in, not registry entries)\n"
+      << "partitioners: " << partitioner_registry().catalog() << "\n";
+}
+
+bool handle_list_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      print_registry_catalog(std::cout);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace sagnn

@@ -5,6 +5,7 @@
 // TrainerBuilder. Drivers stopped carrying their own trainer-wiring code —
 // adding a strategy or partitioner makes it selectable everywhere at once.
 
+#include <iosfwd>
 #include <string>
 
 #include "gnn/trainer.hpp"
@@ -56,5 +57,15 @@ struct ExperimentSpec {
 
 /// Build, train, and report one experiment.
 TrainResult run_experiment(const Dataset& dataset, const ExperimentSpec& spec);
+
+/// Print every registered strategy and partitioner (canonical names with
+/// aliases, plus the built-in trainer modes) — the payload of the drivers'
+/// --list flag.
+void print_registry_catalog(std::ostream& out);
+
+/// Shared --list flag handling for driver mains: when any argument equals
+/// "--list", print the catalog to stdout and return true (the caller exits
+/// 0 without running anything).
+bool handle_list_flag(int argc, char** argv);
 
 }  // namespace sagnn

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -18,6 +19,14 @@
 #include "common/types.hpp"
 
 namespace sagnn {
+
+/// Typed unknown-name error raised by NamedRegistry::create()/require().
+/// Subclasses std::invalid_argument, so pre-existing catch sites keep
+/// working; the message always lists every registered choice.
+class UnknownNameError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 template <typename Base, typename... Args>
 class NamedRegistry {
@@ -35,6 +44,7 @@ class NamedRegistry {
     insert_key(canonical, factory);
     canonical_.push_back(canonical);
     for (const std::string& alias : aliases) insert_key(alias, factory);
+    aliases_.emplace(canonical, std::move(aliases));
   }
 
   bool contains(const std::string& name) const {
@@ -48,21 +58,57 @@ class NamedRegistry {
     return out;
   }
 
-  /// Instantiate by canonical name or alias. Unknown names get a
-  /// std::invalid_argument that lists every registered choice.
+  /// The aliases registered alongside a canonical name (empty for unknown
+  /// or alias-free names).
+  std::vector<std::string> aliases(const std::string& canonical) const {
+    auto it = aliases_.find(canonical);
+    return it != aliases_.end() ? it->second : std::vector<std::string>{};
+  }
+
+  /// Human-readable catalog: every canonical name with its aliases, e.g.
+  /// "gvb (aka gvb(volume-balancing))". Used by error messages and the
+  /// drivers' --list mode.
+  std::string catalog() const {
+    std::ostringstream os;
+    const auto known = names();
+    for (std::size_t i = 0; i < known.size(); ++i) {
+      os << (i > 0 ? ", " : "") << known[i];
+      const auto aka = aliases(known[i]);
+      for (std::size_t a = 0; a < aka.size(); ++a) {
+        os << (a == 0 ? " (aka " : ", ") << aka[a];
+      }
+      if (!aka.empty()) os << ")";
+    }
+    return os.str();
+  }
+
+  /// Fail-fast validation: throws UnknownNameError unless `name` resolves
+  /// (canonical or alias) or appears in `builtins` — extra vocabulary the
+  /// caller accepts outside this registry ("serial", "sampled").
+  void require(const std::string& name,
+               std::initializer_list<const char*> builtins = {}) const {
+    if (contains(name)) return;
+    for (const char* b : builtins) {
+      if (name == b) return;
+    }
+    std::ostringstream os;
+    os << "unknown " << kind_ << ": '" << name << "' (registered: " << catalog();
+    bool first = true;
+    for (const char* b : builtins) {
+      os << (first ? "; built-in: " : ", ") << b;
+      first = false;
+    }
+    os << ")";
+    throw UnknownNameError(os.str());
+  }
+
+  /// Instantiate by canonical name or alias. Unknown names get an
+  /// UnknownNameError (a std::invalid_argument) listing every registered
+  /// choice.
   template <typename... CallArgs>
   std::unique_ptr<Base> create(const std::string& name, CallArgs&&... args) const {
     auto it = factories_.find(name);
-    if (it == factories_.end()) {
-      std::ostringstream os;
-      os << "unknown " << kind_ << ": '" << name << "' (registered: ";
-      const auto known = names();
-      for (std::size_t i = 0; i < known.size(); ++i) {
-        os << (i > 0 ? ", " : "") << known[i];
-      }
-      os << ")";
-      throw std::invalid_argument(os.str());
-    }
+    if (it == factories_.end()) require(name);  // throws
     return it->second(std::forward<CallArgs>(args)...);
   }
 
@@ -75,6 +121,7 @@ class NamedRegistry {
   std::string kind_;
   std::map<std::string, Factory> factories_;
   std::vector<std::string> canonical_;
+  std::map<std::string, std::vector<std::string>> aliases_;
 };
 
 }  // namespace sagnn

@@ -1,5 +1,7 @@
 #include "gnn/strategies/strategy_15d.hpp"
 
+#include "plan/census.hpp"
+
 namespace sagnn {
 
 std::vector<double> grid_replica_nnz_work(const StrategyContext& ctx) {
@@ -19,6 +21,51 @@ std::vector<double> grid_replica_nnz_work(const StrategyContext& ctx) {
 
 std::vector<double> Strategy15d::rank_work(const StrategyContext& ctx) const {
   return grid_replica_nnz_work(ctx);
+}
+
+PredictedCost Strategy15d::predict_cost(const PredictInput& in) const {
+  PredictedCost out;
+  if (in.census == nullptr) {
+    out.note = name() + " prediction needs a census";
+    return out;
+  }
+  GridLayout layout;
+  try {
+    layout = GridLayout::make(in.p, in.c);
+  } catch (const Error& err) {
+    out.note = err.what();
+    return out;
+  }
+  const GraphCensus& cs = *in.census;
+  if (static_cast<vid_t>(layout.rows) > cs.n) {
+    out.note = "more block rows than vertices";
+    return out;
+  }
+
+  const CostEstimator e(in.model);
+  const double n = static_cast<double>(cs.n);
+  const double s = sizeof(real_t);
+  const int rows = layout.rows;
+  const int c = layout.s;
+  // Reduce scope: a grid column (one replica of every block row), `rows`
+  // members spaced c apart. Each rank holds an n*c/p-row replica.
+  const std::vector<vid_t> widths =
+      predict_base(out.cost, in, rows, n * c / in.p, rows, c);
+  const double halo = cs.expected_halo_rows(in.partitioner, rows);
+  const double imb = cs.expected_send_imbalance(in.partitioner, rows);
+  for (vid_t width : widths) {
+    const double w = static_cast<double>(width);
+    // Grid-column fetch: the c replicas of a block row split its traffic.
+    if (mode_ == SpmmMode::kSparsityAware) {
+      e.alltoall(out.cost, halo / in.p * imb * w * s, rows - 1, rows, c);
+    } else {
+      e.bcast(out.cost, (rows - 1) * n / in.p * w * s, rows - 1, rows, c);
+    }
+    // Grid-row partial-sum all-reduce across the c replicas.
+    if (c > 1) e.allreduce(out.cost, (n * c / in.p) * w * s, c, 1);
+  }
+  out.valid = true;
+  return out;
 }
 
 namespace {

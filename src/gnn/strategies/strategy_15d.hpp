@@ -38,6 +38,8 @@ class Strategy15d final : public DistributionStrategy {
 
   std::vector<double> rank_work(const StrategyContext& ctx) const override;
 
+  PredictedCost predict_cost(const PredictInput& in) const override;
+
  private:
   SpmmMode mode_;
   std::unique_ptr<DistSpmm15d> spmm_;

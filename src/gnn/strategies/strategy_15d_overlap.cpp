@@ -1,6 +1,56 @@
 #include "gnn/strategies/strategy_15d_overlap.hpp"
 
+#include <algorithm>
+
+#include "plan/census.hpp"
+
 namespace sagnn {
+
+PredictedCost Strategy15dOverlap::predict_cost(const PredictInput& in) const {
+  PredictedCost out;
+  if (in.census == nullptr) {
+    out.note = name() + " prediction needs a census";
+    return out;
+  }
+  GridLayout layout;
+  try {
+    layout = GridLayout::make(in.p, in.c);
+  } catch (const Error& err) {
+    out.note = err.what();
+    return out;
+  }
+  const GraphCensus& cs = *in.census;
+  if (static_cast<vid_t>(layout.rows) > cs.n) {
+    out.note = "more block rows than vertices";
+    return out;
+  }
+
+  const CostEstimator e(in.model);
+  const double n = static_cast<double>(cs.n);
+  const double s = sizeof(real_t);
+  const int rows = layout.rows;
+  const int c = layout.s;
+  const int k = std::max(1, in.chunks);
+  const std::vector<vid_t> widths =
+      predict_base(out.cost, in, rows, n * c / in.p, rows, c);
+  // Same bytes as "1.5d-sparse", K times the alltoall messages; the
+  // grid-row all-reduce stays one full-width collective per propagate.
+  const double halo = cs.expected_halo_rows(in.partitioner, rows);
+  const double imb = cs.expected_send_imbalance(in.partitioner, rows);
+  for (vid_t width : widths) {
+    const double w = static_cast<double>(width);
+    e.alltoall(out.cost, halo / in.p * imb * w * s,
+               static_cast<double>(k) * (rows - 1), rows, c);
+    if (c > 1) e.allreduce(out.cost, (n * c / in.p) * w * s, c, 1);
+  }
+  out.valid = true;
+  // Cross-layer schedule: K stages per propagate plus the final drain
+  // (the trainer records n_prop * K stages for K >= 2, n_prop + 1 at
+  // K = 1).
+  const int n_prop = static_cast<int>(widths.size());
+  out.depth = std::max(n_prop * k, n_prop + 1);
+  return out;
+}
 
 namespace {
 const StrategyRegistration kRegister15dOverlap{

@@ -61,6 +61,8 @@ class Strategy15dOverlap final : public DistributionStrategy {
     return grid_replica_nnz_work(ctx);
   }
 
+  PredictedCost predict_cost(const PredictInput& in) const override;
+
  private:
   int chunks_ = 4;
   /// Epoch-wide pipeline-stage cursor (reset by begin_epoch, advanced by

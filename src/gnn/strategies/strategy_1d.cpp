@@ -1,9 +1,45 @@
 #include "gnn/strategies/strategy_1d.hpp"
 
+#include "plan/census.hpp"
+
 namespace sagnn {
 
 std::vector<double> Strategy1d::rank_work(const StrategyContext& ctx) const {
   return block_row_nnz_work(ctx);
+}
+
+PredictedCost Strategy1d::predict_cost(const PredictInput& in) const {
+  PredictedCost out;
+  if (in.census == nullptr) {
+    out.note = name() + " prediction needs a census";
+    return out;
+  }
+  const GraphCensus& cs = *in.census;
+  if (in.p < 1 || static_cast<vid_t>(in.p) > cs.n) {
+    out.note = "more ranks than vertices";
+    return out;
+  }
+
+  const CostEstimator e(in.model);
+  const double n = static_cast<double>(cs.n);
+  const double s = sizeof(real_t);
+  const std::vector<vid_t> widths =
+      predict_base(out.cost, in, in.p, n / in.p, in.p, 1);
+  // Per propagate: oblivious broadcasts every remote block row to every
+  // rank; sparsity-aware fetches only the halo rows the partitioner left
+  // behind, with the bottleneck rank at the send-imbalance factor.
+  const double halo = cs.expected_halo_rows(in.partitioner, in.p);
+  const double imb = cs.expected_send_imbalance(in.partitioner, in.p);
+  for (vid_t width : widths) {
+    const double w = static_cast<double>(width);
+    if (mode_ == SpmmMode::kSparsityAware) {
+      e.alltoall(out.cost, halo / in.p * imb * w * s, in.p - 1, in.p, 1);
+    } else {
+      e.bcast(out.cost, (n - n / in.p) * w * s, in.p - 1, in.p, 1);
+    }
+  }
+  out.valid = true;
+  return out;
 }
 
 namespace {

@@ -42,6 +42,8 @@ class Strategy1d final : public DistributionStrategy {
 
   std::vector<double> rank_work(const StrategyContext& ctx) const override;
 
+  PredictedCost predict_cost(const PredictInput& in) const override;
+
  private:
   SpmmMode mode_;
   std::optional<Comm> world_;

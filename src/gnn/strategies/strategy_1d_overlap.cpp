@@ -1,6 +1,42 @@
 #include "gnn/strategies/strategy_1d_overlap.hpp"
 
+#include <algorithm>
+
+#include "plan/census.hpp"
+
 namespace sagnn {
+
+PredictedCost Strategy1dOverlap::predict_cost(const PredictInput& in) const {
+  PredictedCost out;
+  if (in.census == nullptr) {
+    out.note = name() + " prediction needs a census";
+    return out;
+  }
+  const GraphCensus& cs = *in.census;
+  if (in.p < 1 || static_cast<vid_t>(in.p) > cs.n) {
+    out.note = "more ranks than vertices";
+    return out;
+  }
+
+  const CostEstimator e(in.model);
+  const double n = static_cast<double>(cs.n);
+  const double s = sizeof(real_t);
+  const int k = std::max(1, in.chunks);
+  const std::vector<vid_t> widths =
+      predict_base(out.cost, in, in.p, n / in.p, in.p, 1);
+  // Chunking moves the same bytes as "1d-sparse" in K times the messages;
+  // the payoff is the pipelined critical path (depth = K).
+  const double halo = cs.expected_halo_rows(in.partitioner, in.p);
+  const double imb = cs.expected_send_imbalance(in.partitioner, in.p);
+  for (vid_t width : widths) {
+    const double w = static_cast<double>(width);
+    e.alltoall(out.cost, halo / in.p * imb * w * s,
+               static_cast<double>(k) * (in.p - 1), in.p, 1);
+  }
+  out.valid = true;
+  out.depth = k;
+  return out;
+}
 
 namespace {
 const StrategyRegistration kRegister1dOverlap{

@@ -54,6 +54,8 @@ class Strategy1dOverlap final : public DistributionStrategy {
     return block_row_nnz_work(ctx);
   }
 
+  PredictedCost predict_cost(const PredictInput& in) const override;
+
  private:
   int chunks_ = 4;
   std::optional<Comm> world_;

@@ -1,5 +1,7 @@
 #include "gnn/strategies/strategy_2d.hpp"
 
+#include "plan/census.hpp"
+
 namespace sagnn {
 
 std::vector<double> Strategy2d::rank_work(const StrategyContext& ctx) const {
@@ -15,6 +17,42 @@ std::vector<double> Strategy2d::rank_work(const StrategyContext& ctx) const {
         static_cast<double>(row_ptr[range.end] - row_ptr[range.begin]) / grid.q;
   }
   return work;
+}
+
+PredictedCost Strategy2d::predict_cost(const PredictInput& in) const {
+  PredictedCost out;
+  if (in.census == nullptr) {
+    out.note = name() + " prediction needs a census";
+    return out;
+  }
+  SquareGrid grid;
+  try {
+    grid = SquareGrid::make(in.p);
+  } catch (const Error& err) {
+    out.note = err.what();
+    return out;
+  }
+  const GraphCensus& cs = *in.census;
+  if (static_cast<vid_t>(grid.q) > cs.n) {
+    out.note = "more grid rows than vertices";
+    return out;
+  }
+
+  const CostEstimator e(in.model);
+  const double n = static_cast<double>(cs.n);
+  const double s = sizeof(real_t);
+  // The dense Z all-reduce and the residency transpose are oblivious to
+  // sparsity (kSparsityAware only compacts the local kernel), so both
+  // modes price identically.
+  const std::vector<vid_t> widths =
+      predict_base(out.cost, in, grid.q, n / grid.q, grid.q, 1);
+  for (vid_t width : widths) {
+    const double w = static_cast<double>(width);
+    e.allreduce(out.cost, (n / grid.q) * w * s, grid.q, 1);
+    e.exchange(out.cost, (n / grid.q) * w * s, 1, in.p, grid.q);
+  }
+  out.valid = true;
+  return out;
 }
 
 namespace {

@@ -43,6 +43,8 @@ class Strategy2d final : public DistributionStrategy {
 
   std::vector<double> rank_work(const StrategyContext& ctx) const override;
 
+  PredictedCost predict_cost(const PredictInput& in) const override;
+
  private:
   SpmmMode mode_;
   std::unique_ptr<DistSpmm2d> spmm_;

@@ -1,0 +1,72 @@
+#include "gnn/strategies/strategy_3d.hpp"
+
+#include "plan/census.hpp"
+
+namespace sagnn {
+
+std::vector<double> Strategy3d::rank_work(const StrategyContext& ctx) const {
+  // Rank (l, i, j) multiplies tile Â_{ij} against a 1/d feature slice:
+  // approximate its nnz-work as block row i's nnz split q ways across the
+  // row and d ways across the depth.
+  const CubeGrid grid = CubeGrid::make(ctx.p, ctx.c);
+  std::vector<double> work(static_cast<std::size_t>(ctx.p), 0.0);
+  const auto row_ptr = ctx.adjacency->row_ptr();
+  for (int r = 0; r < ctx.p; ++r) {
+    const BlockRange& range =
+        ctx.ranges[static_cast<std::size_t>(grid.grid_row(r))];
+    work[static_cast<std::size_t>(r)] =
+        static_cast<double>(row_ptr[range.end] - row_ptr[range.begin]) /
+        (static_cast<double>(grid.q) * grid.d);
+  }
+  return work;
+}
+
+PredictedCost Strategy3d::predict_cost(const PredictInput& in) const {
+  PredictedCost out;
+  if (in.census == nullptr) {
+    out.note = "3d prediction needs a census";
+    return out;
+  }
+  CubeGrid grid;
+  try {
+    grid = CubeGrid::make(in.p, in.c);
+  } catch (const Error& e) {
+    out.note = e.what();
+    return out;
+  }
+  const GraphCensus& cs = *in.census;
+  if (static_cast<vid_t>(grid.q) > cs.n) {
+    out.note = "more grid rows than vertices";
+    return out;
+  }
+
+  const CostEstimator e(in.model);
+  const double n = static_cast<double>(cs.n);
+  const double d = static_cast<double>(grid.d);
+  const double s = sizeof(real_t);
+  // Reduce scope: a layer grid row (q members, stride 1 in world order).
+  const std::vector<vid_t> widths =
+      predict_base(out.cost, in, grid.q, n / grid.q, grid.q, 1);
+  for (vid_t width : widths) {
+    const double w = static_cast<double>(width);
+    // Layer-row partial-sum all-reduce and transpose on the 1/d slice.
+    e.allreduce(out.cost, (n / grid.q) * (w / d) * s, grid.q, 1);
+    e.exchange(out.cost, (n / grid.q) * (w / d) * s, 1, in.p, grid.q);
+    // Depth all-gather ring reassembling the other layers' slices; fiber
+    // members are spaced q^2 apart.
+    if (grid.d > 1) {
+      e.exchange(out.cost, (n / grid.q) * w * ((d - 1.0) / d) * s, grid.d - 1,
+                 grid.d, grid.q * grid.q);
+    }
+  }
+  out.valid = true;
+  out.depth = 1;
+  return out;
+}
+
+namespace {
+const StrategyRegistration kRegister3d{
+    "3d", {"3d-comm-avoiding"}, [] { return std::make_unique<Strategy3d>(); }};
+}  // namespace
+
+}  // namespace sagnn

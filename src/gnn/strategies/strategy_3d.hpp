@@ -1,0 +1,52 @@
+#pragma once
+// The communication-avoiding 3D strategy ("3d"): d stacked q x q 2D grids
+// split the feature dimension (p = q^2 * c; the builder's c knob is the
+// depth d). Each layer runs the 2D scheme on a 1/d feature slice — the
+// dense partial-sum all-reduce and the transpose shrink by d — and a depth
+// all-gather across the fibers reassembles the full width for the next GCN
+// layer. d = 1 degenerates exactly to 2D, which is how this strategy rides
+// the registry serial-parity sweep unchanged. The planner (src/plan/)
+// exists to quantify where — if anywhere — the extra fiber ring pays off
+// for GNN-shaped (narrow) feature widths: the paper's CAGNET-style 3D
+// dismissal as a measurable artifact.
+
+#include "dist/spmm_3d.hpp"
+#include "gnn/strategy.hpp"
+
+namespace sagnn {
+
+class Strategy3d final : public DistributionStrategy {
+ public:
+  std::string name() const override { return "3d"; }
+
+  int n_blocks(int p, int c) const override { return CubeGrid::make(p, c).q; }
+
+  void setup(Comm& comm, const StrategyContext& ctx) override {
+    spmm_ = std::make_unique<DistSpmm3d>(comm, *ctx.adjacency, ctx.ranges,
+                                         ctx.c, SpmmMode::kSparsityAware);
+  }
+
+  Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {
+    return spmm_->propagate(x_local, cpu_seconds);
+  }
+  Matrix propagate_backward(const Matrix& g_local, double* cpu_seconds) override {
+    return spmm_->propagate(g_local, cpu_seconds);
+  }
+
+  /// Ranks of a layer's grid row hold pairwise-distinct H blocks (rank
+  /// (l, i, j) holds block j), so any layer-row is a reduction scope; the
+  /// d parallel rings see identical data in identical order, keeping the
+  /// weights bitwise-replicated across layers.
+  Comm& reduce_comm() override { return spmm_->row_comm(); }
+  /// Training state lives in H residency: the input range.
+  const BlockRange& my_range() const override { return spmm_->input_range(); }
+
+  std::vector<double> rank_work(const StrategyContext& ctx) const override;
+
+  PredictedCost predict_cost(const PredictInput& in) const override;
+
+ private:
+  std::unique_ptr<DistSpmm3d> spmm_;
+};
+
+}  // namespace sagnn

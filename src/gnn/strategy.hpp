@@ -41,6 +41,105 @@ struct StrategyContext {
   int pipeline_chunks = 4;
 };
 
+struct GraphCensus;  // src/plan/census.hpp
+
+/// One candidate configuration to be priced by predict_cost(): the census
+/// plus every knob the planner (src/plan/planner.hpp) searches over.
+struct PredictInput {
+  const GraphCensus* census = nullptr;
+  int p = 1;       ///< simulated GPU count
+  int c = 1;       ///< replication factor / 3D depth
+  int chunks = 1;  ///< pipeline chunks K (pipelined strategies)
+  std::string partitioner = "block";  ///< partitioner registry name
+  CostModel model;                    ///< volume_scale already calibrated
+  std::vector<vid_t> dims;            ///< GCN layer widths {d_0 .. d_L}
+  /// Host multiply-add throughput for the NOMINAL compute term (no
+  /// measurement enters a prediction — that is what keeps a ranked plan
+  /// deterministic across machines and thread counts). bench_planner pins
+  /// the truth runs' compute to the same closed form, so regret compares
+  /// schedules, not host noise.
+  double host_madds_per_second = 2.5e8;
+};
+
+/// A predicted epoch cost: the closed-form volume/message models of
+/// docs/strategies.md priced through the alpha-beta CostModel.
+struct PredictedCost {
+  bool valid = false;  ///< false: invalid geometry / strategy cannot predict
+  EpochCost cost;      ///< buckets + latency decomposition, no measurement
+  int depth = 1;       ///< modeled pipeline depth for total_pipelined()
+  std::string note;    ///< why invalid (diagnostics)
+
+  /// The planner's ranking score.
+  double seconds() const { return cost.total_pipelined(depth); }
+};
+
+/// Prices the collective patterns of the strategies into EpochCost buckets
+/// under a CostModel — the shared vocabulary of the predict_cost()
+/// overrides. Byte arguments are RAW; volume_scale is applied here (to
+/// bytes, never to message counts), mirroring epoch_cost(). The alpha/beta
+/// mix distinguishes ring exchanges (the bottleneck rank sits on a node
+/// boundary, so its neighbor link is inter-node as soon as the group spans
+/// nodes) from spread exchanges (a rank talks to every group member, so
+/// intra-node peers dilute the latency).
+class CostEstimator {
+ public:
+  explicit CostEstimator(const CostModel& model) : m_(model) {}
+
+  /// Average per-message alpha/beta for a rank exchanging with all
+  /// `group - 1` peers spaced `stride` apart in global rank order.
+  double alpha_spread(int group, int stride) const;
+  double beta_spread(int group, int stride) const;
+  /// Alpha/beta of a ring step when the ring's members are spaced `stride`
+  /// apart: inter-node iff the ring spans a node boundary.
+  double alpha_ring(int group, int stride) const;
+  double beta_ring(int group, int stride) const;
+
+  /// Pairwise alltoallv: `msgs` messages and `bytes` payload serialized at
+  /// the bottleneck rank of a `group`-member communicator.
+  void alltoall(EpochCost& c, double bytes, double msgs, int group,
+                int stride) const;
+  /// Binomial-tree broadcast phase, receive side of the bottleneck rank.
+  void bcast(EpochCost& c, double bytes, double msgs, int group,
+             int stride) const;
+  /// Ring all-reduce of `payload_bytes` over `ring` members: 2(r-1)
+  /// messages and ~2 payload bytes per rank.
+  void allreduce(EpochCost& c, double payload_bytes, int ring,
+                 int stride) const;
+  /// Point-to-point traffic outside the named buckets (transpose remaps,
+  /// depth all-gathers) — lands in `other` like its recorded phase would.
+  void exchange(EpochCost& c, double bytes, double msgs, int group,
+                int stride) const;
+
+  /// Nominal compute seconds for `madds` multiply-adds: host throughput
+  /// scaled by the model's host->device factor and volume_scale (compute
+  /// is linear in n*f exactly like bytes — see CostModel::volume_scale).
+  double compute_seconds(double madds, double host_madds_per_second) const;
+
+ private:
+  const CostModel& m_;
+};
+
+/// The per-propagate feature widths of one epoch for GCN layer dims
+/// {d_0 .. d_L}: forward propagates at d_0 .. d_{L-1}, backward at
+/// d_{L-1} .. d_1 (2L - 1 propagates; {f, 16, 16, 16, 16} for the default
+/// architecture).
+std::vector<vid_t> propagate_widths(const std::vector<vid_t>& dims);
+
+/// The layer dims a prediction uses: in.dims when set, else the trainer's
+/// default architecture {f, 16, 16, classes} derived from the census.
+std::vector<vid_t> effective_dims(const PredictInput& in);
+
+/// Fills the strategy-INDEPENDENT part of a prediction into `cost`: the
+/// nominal compute term (tile SpMM at nnz/p per rank times the
+/// partitioner's compute-imbalance factor at `n_blocks`, plus the dense
+/// layer GEMMs at `dense_rows` rows per rank) and the per-layer
+/// weight-gradient + loss ring all-reduces over the reduce scope
+/// (`reduce_ranks` members spaced `reduce_stride` apart). Returns the
+/// propagate widths for the strategy-specific communication terms.
+std::vector<vid_t> predict_base(EpochCost& cost, const PredictInput& in,
+                                int n_blocks, double dense_rows,
+                                int reduce_ranks, int reduce_stride);
+
 class DistributionStrategy {
  public:
   virtual ~DistributionStrategy() = default;
@@ -100,6 +199,13 @@ class DistributionStrategy {
   /// also report per-rank bottlenecks.
   std::vector<double> smooth_rank_cpu(const StrategyContext& ctx,
                                       std::span<const double> measured) const;
+
+  /// Closed-form predicted cost of ONE epoch for a candidate configuration,
+  /// from census statistics alone — no setup(), no cluster, no training
+  /// run. Strategies opt in by overriding; the base declines (valid =
+  /// false), which the planner reports as a skipped candidate. Must return
+  /// valid = false (never throw) on invalid geometry.
+  virtual PredictedCost predict_cost(const PredictInput& in) const;
 };
 
 /// rank_work() of any strategy whose rank r owns block row r outright

@@ -11,6 +11,7 @@
 #include "gnn/sampled_trainer.hpp"
 #include "gnn/serial_trainer.hpp"
 #include "gnn/strategy.hpp"
+#include "partition/partitioner_registry.hpp"
 
 namespace sagnn {
 
@@ -50,6 +51,61 @@ void Trainer::maybe_auto_checkpoint(int epochs_completed) {
   last_auto_save_seconds_ = save_timer.seconds();
   last_auto_snapshot_bytes_ =
       bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0;
+}
+
+TrainerBuilder& TrainerBuilder::strategy(std::string name) {
+  // Fail fast: catch the typo where it was written, not at build() — the
+  // registry lookup there would raise the same error, only later.
+  strategy_registry().require(name, {"serial", "sampled"});
+  config_.strategy = std::move(name);
+  set_.strategy = true;
+  return *this;
+}
+
+TrainerBuilder& TrainerBuilder::partitioner(std::string name,
+                                            PartitionerOptions opts) {
+  partitioner_registry().require(name);
+  config_.partitioner = std::move(name);
+  config_.partitioner_options = opts;
+  set_.partitioner = true;
+  return *this;
+}
+
+TrainerBuilder& TrainerBuilder::autotune(PlannerOptions opts) {
+  // Builder knobs pin search dimensions. A pinned strategy restricts the
+  // registry walk to that one name — but only distributed strategies have
+  // a cost surface to rank.
+  if (set_.strategy) {
+    SAGNN_REQUIRE(config_.strategy != "serial" && config_.strategy != "sampled",
+                  "autotune() plans distributed training; '" +
+                      config_.strategy + "' is a built-in single-rank mode");
+    opts.strategies = {config_.strategy};
+  }
+  if (set_.partitioner) {
+    opts.partitioners = {config_.partitioner};
+    opts.census.partitioners = {config_.partitioner};
+    opts.census.partitioner_options = config_.partitioner_options;
+  }
+  if (set_.ranks) {
+    opts.pinned_p = config_.p;
+    // ranks(p, 0) pins only the rank count, like resume().
+    if (config_.c >= 1) opts.pinned_c = config_.c;
+  }
+  if (set_.pipeline_chunks) opts.pinned_chunks = config_.pipeline_chunks;
+  if (set_.cost_model) opts.cost_model = config_.cost_model;
+  if (!config_.gcn.dims.empty()) opts.dims = config_.gcn.dims;
+
+  plan_ = plan_strategies(take_census(*dataset_, opts.census), opts);
+  const PlanCandidate& best = plan_.best();
+  // Adopt the winner WITHOUT flipping the set_ flags: autotune() is a
+  // default-provider like instantiate()'s dims derivation, not an explicit
+  // override (resume() semantics stay byte-for-byte).
+  config_.strategy = best.strategy;
+  config_.partitioner = best.partitioner;
+  config_.p = best.p;
+  config_.c = best.c;
+  config_.pipeline_chunks = best.chunks;
+  return *this;
 }
 
 std::unique_ptr<Trainer> TrainerBuilder::instantiate(TrainConfig cfg) const {

@@ -35,6 +35,7 @@
 #include "graph/datasets.hpp"
 #include "partition/metrics.hpp"
 #include "partition/partition.hpp"
+#include "plan/planner.hpp"
 #include "simcomm/cost_model.hpp"
 #include "simcomm/fault.hpp"
 
@@ -289,12 +290,11 @@ class TrainerBuilder {
     config_.gcn = std::move(cfg);
     return *this;
   }
-  /// Execution mode / distribution strategy by registry name.
-  TrainerBuilder& strategy(std::string name) {
-    config_.strategy = std::move(name);
-    set_.strategy = true;
-    return *this;
-  }
+  /// Execution mode / distribution strategy by registry name. Fails fast:
+  /// a name that is neither a registered strategy (canonical or alias) nor
+  /// a built-in mode ("serial", "sampled") raises UnknownNameError HERE,
+  /// at the call site, listing every registered choice — not at build().
+  TrainerBuilder& strategy(std::string name);
   TrainerBuilder& ranks(int p, int c = 1) {
     config_.p = p;
     config_.c = c;
@@ -307,12 +307,9 @@ class TrainerBuilder {
     set_.threads = true;
     return *this;
   }
-  TrainerBuilder& partitioner(std::string name, PartitionerOptions opts = {}) {
-    config_.partitioner = std::move(name);
-    config_.partitioner_options = opts;
-    set_.partitioner = true;
-    return *this;
-  }
+  /// Fails fast like strategy(): unknown partitioner names raise
+  /// UnknownNameError at this call, listing the registered choices.
+  TrainerBuilder& partitioner(std::string name, PartitionerOptions opts = {});
   TrainerBuilder& cost_model(const CostModel& model) {
     config_.cost_model = model;
     set_.cost_model = true;
@@ -363,6 +360,22 @@ class TrainerBuilder {
     return *this;
   }
 
+  /// Census-driven autotuning (docs/planner.md): take a census of the
+  /// dataset, rank the candidate grid with plan_strategies(), and adopt
+  /// the winner's (strategy, partitioner, p, c, pipeline_chunks) into this
+  /// builder's configuration. Knobs already set on the builder PIN the
+  /// corresponding search dimension and shrink the grid: strategy() and
+  /// partitioner() restrict the registries to that one name, ranks(p, c)
+  /// pins p (and c when >= 1), pipeline_chunks() pins K, cost_model() and
+  /// gcn() feed the predictor. The ranked plan stays inspectable through
+  /// plan(). A pinned strategy must be distributed — autotune() with
+  /// "serial"/"sampled" raises Error; unknown names raise UnknownNameError
+  /// already inside strategy()/partitioner().
+  TrainerBuilder& autotune(PlannerOptions opts = {});
+
+  /// The ranked plan of the last autotune() call (empty before).
+  const Plan& plan() const { return plan_; }
+
   const TrainConfig& peek() const { return config_; }
 
   /// Instantiate the trainer. Unknown strategy or partitioner names raise
@@ -397,6 +410,7 @@ class TrainerBuilder {
 
   const Dataset* dataset_;
   TrainConfig config_;
+  Plan plan_;  ///< ranking of the last autotune() call
   /// Which knobs were explicitly set (resume() override tracking).
   struct {
     bool strategy = false;

@@ -1,0 +1,146 @@
+#include "plan/census.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/analysis.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner_registry.hpp"
+
+namespace sagnn {
+
+namespace {
+
+/// Probe-to-random halo ratio of one probe (1 when the random model is
+/// degenerate, i.e. the graph has no edges).
+double rho_of(const PartitionProbe& p) {
+  return p.random_halo_rows > 0 ? p.halo_rows / p.random_halo_rows : 1.0;
+}
+
+/// Piecewise-linear interpolation of a per-probe quantity in log2 k:
+/// exact at the probed k, held constant outside the probed range,
+/// `fallback` with no probes at all.
+template <typename Field>
+double interpolate_log_k(const std::vector<PartitionProbe>& probes, int k,
+                         double fallback, Field field) {
+  if (probes.empty()) return fallback;
+  if (k <= probes.front().k) return field(probes.front());
+  if (k >= probes.back().k) return field(probes.back());
+  for (std::size_t i = 1; i < probes.size(); ++i) {
+    if (k > probes[i].k) continue;
+    const double x0 = std::log2(static_cast<double>(probes[i - 1].k));
+    const double x1 = std::log2(static_cast<double>(probes[i].k));
+    const double t = (std::log2(static_cast<double>(k)) - x0) / (x1 - x0);
+    return (1.0 - t) * field(probes[i - 1]) + t * field(probes[i]);
+  }
+  return field(probes.back());
+}
+
+}  // namespace
+
+double GraphCensus::random_expected_halo_rows(int k) const {
+  if (k <= 1) return 0;
+  const double keep = 1.0 - 1.0 / static_cast<double>(k);
+  double halo = 0;
+  for (const auto& [degree, count] : degree_counts) {
+    halo += static_cast<double>(count) * static_cast<double>(k - 1) *
+            (1.0 - std::pow(keep, static_cast<double>(degree)));
+  }
+  return halo;
+}
+
+double GraphCensus::expected_halo_rows(const std::string& partitioner,
+                                       int k) const {
+  if (k <= 1) return 0;
+  const auto it = probes.find(partitioner);
+  const double rho =
+      it == probes.end()
+          ? 1.0
+          : interpolate_log_k(it->second, k, 1.0, rho_of);
+  return std::max(0.0, rho) * random_expected_halo_rows(k);
+}
+
+double GraphCensus::expected_send_imbalance(const std::string& partitioner,
+                                            int k) const {
+  const auto it = probes.find(partitioner);
+  if (it == probes.end()) return 1.0;
+  return std::max(1.0, interpolate_log_k(it->second, k, 1.0,
+                                         [](const PartitionProbe& p) {
+                                           return p.send_imbalance;
+                                         }));
+}
+
+double GraphCensus::expected_compute_imbalance(const std::string& partitioner,
+                                               int k) const {
+  const auto it = probes.find(partitioner);
+  if (it == probes.end()) return 1.0;
+  return std::max(1.0, interpolate_log_k(it->second, k, 1.0,
+                                         [](const PartitionProbe& p) {
+                                           return p.compute_imbalance;
+                                         }));
+}
+
+GraphCensus take_census(const Dataset& dataset, const CensusOptions& opts) {
+  GraphCensus cs;
+  cs.dataset = dataset.name;
+  cs.n = dataset.n_vertices();
+  cs.nnz = dataset.n_edges();
+  cs.f = dataset.n_features();
+  cs.n_classes = dataset.n_classes;
+  cs.sim_scale = dataset.sim_scale;
+
+  // One pass: the compressed degree multiset (map keeps it sorted) and the
+  // distribution moments.
+  const auto row_ptr = dataset.adjacency.row_ptr();
+  std::map<vid_t, vid_t> counts;
+  vid_t max_degree = 0;
+  for (vid_t v = 0; v < cs.n; ++v) {
+    const vid_t d = static_cast<vid_t>(row_ptr[v + 1] - row_ptr[v]);
+    ++counts[d];
+    max_degree = std::max(max_degree, d);
+  }
+  cs.degree_counts.assign(counts.begin(), counts.end());
+  cs.avg_degree =
+      cs.n > 0 ? static_cast<double>(cs.nnz) / static_cast<double>(cs.n) : 0.0;
+  cs.max_degree = static_cast<double>(max_degree);
+  cs.degree_skew = cs.avg_degree > 0 ? cs.max_degree / cs.avg_degree : 0.0;
+  cs.degree_hist_log2 = degree_histogram_log2(dataset.adjacency);
+
+  // Partition probes: exact volume models at a few small k per family.
+  std::vector<std::string> families = opts.partitioners.empty()
+                                          ? partitioner_registry().names()
+                                          : opts.partitioners;
+  std::vector<int> ks;
+  for (int k : opts.probe_ks) {
+    k = std::min(k, static_cast<int>(cs.n));  // non-empty parts need k <= n
+    if (k >= 2) ks.push_back(k);
+  }
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+
+  for (const std::string& family : families) {
+    partitioner_registry().require(family);
+    const auto partitioner =
+        partitioner_registry().create(family, opts.partitioner_options);
+    std::vector<PartitionProbe>& out = cs.probes[family];
+    for (int k : ks) {
+      const Partition partition = partitioner->partition(dataset.adjacency, k);
+      const VolumeStats stats =
+          compute_volume_stats(dataset.adjacency, partition);
+      PartitionProbe probe;
+      probe.k = k;
+      probe.halo_rows = static_cast<double>(stats.total_rows());
+      probe.random_halo_rows = cs.random_expected_halo_rows(k);
+      probe.send_imbalance =
+          stats.avg_send_rows() > 0
+              ? static_cast<double>(stats.max_send_rows()) / stats.avg_send_rows()
+              : 1.0;
+      probe.compute_imbalance =
+          compute_load_imbalance(dataset.adjacency, partition);
+      out.push_back(probe);
+    }
+  }
+  return cs;
+}
+
+}  // namespace sagnn

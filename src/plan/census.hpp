@@ -1,0 +1,88 @@
+#pragma once
+// GraphCensus: cheap one-pass statistics over a dataset, the planner's only
+// input (docs/planner.md). A census is everything predict_cost() needs to
+// price a candidate configuration without a training run:
+//
+//   * global counts (n, nnz, f, classes) and the dataset's sim_scale,
+//   * degree-distribution moments plus the compressed degree multiset,
+//     from which the closed-form RANDOM-partition expected halo
+//     E[halo](k) = sum_v (k-1) (1 - (1 - 1/k)^{deg(v)}) follows for any k,
+//   * per registered partitioner family, a few cheap partition PROBES at
+//     small k recording the exact sparsity-aware volume model
+//     (compute_volume_stats) — the probe-to-random halo ratio rho(k) is
+//     then interpolated in log k to predict each family's cut fraction at
+//     the k values the strategy grid actually needs.
+//
+// Probes partition the graph (coarse multilevel at worst), which costs far
+// less than one epoch of training; everything else is a single pass.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "partition/partition.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// One partition probe: the exact volume model at a small k.
+struct PartitionProbe {
+  int k = 1;
+  double halo_rows = 0;         ///< VolumeStats::total_rows() at this k
+  double random_halo_rows = 0;  ///< closed-form E[halo] at this k
+  double send_imbalance = 1;    ///< max_send / avg_send (>= 1)
+  double compute_imbalance = 1; ///< max part nnz / avg part nnz (>= 1)
+};
+
+struct CensusOptions {
+  /// Probe part counts (clamped to [2, n], deduplicated). The defaults
+  /// bracket the strategy grids of the planner; pass the exact n_blocks
+  /// values of a sweep to make the halo predictions exact at those k.
+  std::vector<int> probe_ks = {4, 16, 64};
+  /// Partitioner families to probe; empty = every registered canonical
+  /// name. Unknown names raise UnknownNameError.
+  std::vector<std::string> partitioners;
+  PartitionerOptions partitioner_options;
+};
+
+struct GraphCensus {
+  std::string dataset;
+  vid_t n = 0;
+  eid_t nnz = 0;
+  vid_t f = 0;          ///< feature width
+  vid_t n_classes = 0;
+  double sim_scale = 1.0;
+
+  // Degree-distribution moments (the Table 2 imbalance drivers).
+  double avg_degree = 0;
+  double max_degree = 0;
+  double degree_skew = 0;  ///< max / avg
+  std::vector<eid_t> degree_hist_log2;
+  /// Compressed degree multiset: (degree, vertex count), ascending degree.
+  /// Enables the exact random-halo closed form at ANY k after the pass.
+  std::vector<std::pair<vid_t, vid_t>> degree_counts;
+
+  /// Exact volume-model probes per partitioner family (canonical name).
+  std::map<std::string, std::vector<PartitionProbe>> probes;
+
+  /// Closed-form expected total halo rows of a uniform RANDOM k-way
+  /// partition: sum_v (k-1) (1 - (1 - 1/k)^{deg(v)}). 0 for k <= 1.
+  double random_expected_halo_rows(int k) const;
+
+  /// Predicted total halo rows for `partitioner` at part count k: the
+  /// probe-to-random ratio rho, interpolated linearly in log2 k between
+  /// the bracketing probes (held constant outside the probed range, rho =
+  /// 1 with no probes), times the random closed form at k.
+  double expected_halo_rows(const std::string& partitioner, int k) const;
+  /// Predicted max/avg send-volume ratio (>= 1), interpolated the same way.
+  double expected_send_imbalance(const std::string& partitioner, int k) const;
+  /// Predicted max/avg per-part nnz ratio (>= 1), interpolated the same way.
+  double expected_compute_imbalance(const std::string& partitioner, int k) const;
+};
+
+/// Take the census: one pass for the degree statistics plus the partition
+/// probes. Deterministic (thread-count invariant, like the partitioners).
+GraphCensus take_census(const Dataset& dataset, const CensusOptions& opts = {});
+
+}  // namespace sagnn
