@@ -39,7 +39,7 @@ class DistSpmm15d {
   /// have exactly P/c entries. Subcommunicators are split here and kept by
   /// value, so the object stays usable after the constructing call frame.
   DistSpmm15d(Comm& comm, const CsrMatrix& a, std::span<const BlockRange> ranges,
-              int c, SpmmMode mode);
+              int c, SpmmMode mode, const KernelConfig& kernels = {});
 
   const GridLayout& layout() const { return layout_; }
   const BlockRange& my_range() const { return local_.my_range(); }

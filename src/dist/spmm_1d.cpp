@@ -19,8 +19,9 @@ Matrix matrix_from_flat(vid_t rows, vid_t f, std::vector<real_t> flat) {
 }  // namespace
 
 DistSpmm1d::DistSpmm1d(Comm& comm, const CsrMatrix& a,
-                       std::span<const BlockRange> ranges, SpmmMode mode)
-    : local_(a, ranges, comm.rank()), mode_(mode) {
+                       std::span<const BlockRange> ranges, SpmmMode mode,
+                       const KernelConfig& kernels)
+    : local_(a, ranges, comm.rank(), kernels), mode_(mode) {
   SAGNN_REQUIRE(static_cast<int>(ranges.size()) == comm.size(),
                 "1D needs one block row per rank");
   if (mode_ != SpmmMode::kSparsityAware) return;
@@ -62,7 +63,7 @@ Matrix DistSpmm1d::multiply_oblivious(Comm& comm, const Matrix& h_local,
     bcast<real_t>(comm, root, buf, "bcast");
     ThreadCpuTimer timer;
     const Matrix h_j = matrix_from_flat(rows, f, std::move(buf));
-    spmm_accumulate(local_.plain_block(root), h_j, z);
+    local_.block_accumulate(root, h_j, z);
     if (cpu != nullptr) *cpu += timer.seconds();
   }
   return z;
@@ -155,7 +156,7 @@ Matrix DistSpmm1d::multiply_pipelined(Comm& comm, const Matrix& h_local,
             matrix_from_flat(static_cast<vid_t>(block.cols.size()), fc,
                              std::move(received[static_cast<std::size_t>(j)]));
       }
-      spmm_compacted_accumulate(block.matrix, *packed, z_out);
+      local_.compacted_accumulate(j, *packed, z_out);
     }
     if (chunked) z.paste_cols(c0, z_chunk);
     if (cpu != nullptr) *cpu += timer.seconds();

@@ -20,9 +20,10 @@ namespace sagnn {
 class DistSpmm1d {
  public:
   /// Collective: all ranks of `comm` must construct together (the
-  /// sparsity-aware mode exchanges request lists here).
+  /// sparsity-aware mode exchanges request lists here). `kernels` selects
+  /// the local SpMM storage format (bitwise-neutral; see sparse/sell.hpp).
   DistSpmm1d(Comm& comm, const CsrMatrix& a, std::span<const BlockRange> ranges,
-             SpmmMode mode);
+             SpmmMode mode, const KernelConfig& kernels = {});
 
   const BlockRange& my_range() const { return local_.my_range(); }
   const DistCsr& local() const { return local_; }

@@ -37,8 +37,9 @@ struct SquareGrid {
 class DistSpmm2d {
  public:
   /// Collective over `comm`; `ranges` must have exactly q entries.
+  /// `kernels` selects the local SpMM storage format (bitwise-neutral).
   DistSpmm2d(Comm& comm, const CsrMatrix& a, std::span<const BlockRange> ranges,
-             SpmmMode mode);
+             SpmmMode mode, const KernelConfig& kernels = {});
 
   const SquareGrid& grid() const { return grid_; }
   SpmmMode mode() const { return mode_; }
@@ -66,6 +67,10 @@ class DistSpmm2d {
   BlockRange output_range_;
   CsrMatrix tile_;           ///< Â_{ij}, columns localized to block j
   CompactedBlock compacted_; ///< column-compacted tile (sparsity-aware kernel)
+  /// SELL twins of tile_/compacted_.matrix (sparse/sell.hpp); disengaged on
+  /// the default CSR path.
+  std::optional<SellMatrix> tile_sell_;
+  std::optional<SellMatrix> compacted_sell_;
   Comm world_;               ///< copy of the constructing communicator
   Comm row_comm_;            ///< same grid row; comm rank == grid col
 };

@@ -60,7 +60,8 @@ class DistributedTrainer final : public Trainer {
   struct RankState;
 
   StrategyContext context() const {
-    return {config_.p, config_.c, &a_, ranges_, config_.pipeline_chunks};
+    return {config_.p,  config_.c, &a_, ranges_, config_.pipeline_chunks,
+            config_.kernels};
   }
   /// Partition + permute the dataset for config_.p/c and spin up a fresh
   /// cluster with per-rank strategy setup. The constructor's body, also

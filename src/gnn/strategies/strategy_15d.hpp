@@ -23,7 +23,7 @@ class Strategy15d final : public DistributionStrategy {
 
   void setup(Comm& comm, const StrategyContext& ctx) override {
     spmm_ = std::make_unique<DistSpmm15d>(comm, *ctx.adjacency, ctx.ranges,
-                                          ctx.c, mode_);
+                                          ctx.c, mode_, ctx.kernels);
   }
 
   Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {

@@ -42,7 +42,8 @@ class Strategy15dOverlap final : public DistributionStrategy {
                   "pipeline_chunks must be at least 1");
     chunks_ = ctx.pipeline_chunks;
     spmm_ = std::make_unique<DistSpmm15d>(comm, *ctx.adjacency, ctx.ranges,
-                                          ctx.c, SpmmMode::kSparsityAware);
+                                          ctx.c, SpmmMode::kSparsityAware,
+                                          ctx.kernels);
   }
 
   void begin_epoch() override { stage_ = 0; }

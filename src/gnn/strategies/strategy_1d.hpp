@@ -27,7 +27,7 @@ class Strategy1d final : public DistributionStrategy {
   void setup(Comm& comm, const StrategyContext& ctx) override {
     world_.emplace(comm);
     spmm_ = std::make_unique<DistSpmm1d>(*world_, *ctx.adjacency, ctx.ranges,
-                                         mode_);
+                                         mode_, ctx.kernels);
   }
 
   Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {

@@ -37,7 +37,7 @@ class Strategy1dOverlap final : public DistributionStrategy {
     chunks_ = ctx.pipeline_chunks;
     world_.emplace(comm);
     spmm_ = std::make_unique<DistSpmm1d>(*world_, *ctx.adjacency, ctx.ranges,
-                                         SpmmMode::kSparsityAware);
+                                         SpmmMode::kSparsityAware, ctx.kernels);
   }
 
   Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {

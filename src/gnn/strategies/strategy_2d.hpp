@@ -23,7 +23,8 @@ class Strategy2d final : public DistributionStrategy {
   }
 
   void setup(Comm& comm, const StrategyContext& ctx) override {
-    spmm_ = std::make_unique<DistSpmm2d>(comm, *ctx.adjacency, ctx.ranges, mode_);
+    spmm_ = std::make_unique<DistSpmm2d>(comm, *ctx.adjacency, ctx.ranges, mode_,
+                                         ctx.kernels);
   }
 
   Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {

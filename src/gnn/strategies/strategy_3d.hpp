@@ -23,7 +23,8 @@ class Strategy3d final : public DistributionStrategy {
 
   void setup(Comm& comm, const StrategyContext& ctx) override {
     spmm_ = std::make_unique<DistSpmm3d>(comm, *ctx.adjacency, ctx.ranges,
-                                         ctx.c, SpmmMode::kSparsityAware);
+                                         ctx.c, SpmmMode::kSparsityAware,
+                                         ctx.kernels);
   }
 
   Matrix propagate_forward(const Matrix& x_local, double* cpu_seconds) override {

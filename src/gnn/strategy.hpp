@@ -26,6 +26,7 @@
 #include "simcomm/collectives.hpp"
 #include "simcomm/cost_model.hpp"
 #include "sparse/blocks.hpp"
+#include "sparse/sell.hpp"
 
 namespace sagnn {
 
@@ -39,6 +40,9 @@ struct StrategyContext {
   /// Column-chunk count for pipelined strategies ("1d-overlap",
   /// "1.5d-overlap"); bulk-synchronous strategies ignore it.
   int pipeline_chunks = 4;
+  /// Local-kernel selection forwarded to the distributed SpMM layers
+  /// (sparse/sell.hpp); bitwise-neutral.
+  KernelConfig kernels{};
 };
 
 struct GraphCensus;  // src/plan/census.hpp

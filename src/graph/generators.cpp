@@ -197,6 +197,104 @@ CsrMatrix rmat_csr(int scale, int edge_factor, Rng& rng, RmatParams params) {
                    std::move(vals));
 }
 
+CsrMatrix powerlaw_csr(vid_t n, int avg_degree, double exponent, Rng& rng,
+                       bool scramble_ids) {
+  SAGNN_REQUIRE(n > 1, "need at least 2 vertices");
+  SAGNN_REQUIRE(avg_degree >= 1, "avg_degree must be positive");
+  SAGNN_REQUIRE(exponent >= 0.0, "exponent must be >= 0");
+  const eid_t m = static_cast<eid_t>(n) * avg_degree / 2;
+  // The inverse-CDF table is a pure function of (exponent, n): building it
+  // consumes no RNG draws, so it can sit outside the snapshotted region.
+  const ZipfSampler zipf(exponent, static_cast<std::uint64_t>(n));
+
+  // Each endpoint pair costs exactly two next_double draws (ZipfSampler
+  // documents one uniform per sample), which is what lets pass 2 replay
+  // pass 1's stream bit for bit from the snapshot.
+  auto draw_edge = [&](vid_t& row, vid_t& col) {
+    row = static_cast<vid_t>(zipf.sample(rng));
+    col = static_cast<vid_t>(zipf.sample(rng));
+  };
+
+  // Pass 1: per-vertex arc counts (both directions, duplicates included —
+  // dedup happens in place after the fill).
+  const auto edge_state = rng.save_state();
+  std::vector<eid_t> count(static_cast<std::size_t>(n), 0);
+  for (eid_t k = 0; k < m; ++k) {
+    vid_t row, col;
+    draw_edge(row, col);
+    if (row != col) {
+      ++count[static_cast<std::size_t>(row)];
+      ++count[static_cast<std::size_t>(col)];
+    }
+  }
+
+  // Scramble permutation drawn after the edge stream, exactly as the COO
+  // generators order their draws; remap counts through the bijection.
+  std::vector<vid_t> perm;
+  if (scramble_ids) {
+    perm.resize(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (vid_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<vid_t>(
+          rng.next_below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+  }
+  const auto final_state = rng.save_state();
+
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t id = scramble_ids ? perm[static_cast<std::size_t>(v)] : v;
+    row_ptr[static_cast<std::size_t>(id) + 1] = count[static_cast<std::size_t>(v)];
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    row_ptr[static_cast<std::size_t>(v) + 1] += row_ptr[static_cast<std::size_t>(v)];
+  }
+  count.clear();
+  count.shrink_to_fit();
+
+  // Pass 2: replay the stream, scatter both arc directions into their rows.
+  std::vector<vid_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<eid_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  rng.load_state(edge_state);
+  for (eid_t k = 0; k < m; ++k) {
+    vid_t row, col;
+    draw_edge(row, col);
+    if (row != col) {
+      const vid_t u =
+          scramble_ids ? perm[static_cast<std::size_t>(row)] : row;
+      const vid_t v =
+          scramble_ids ? perm[static_cast<std::size_t>(col)] : col;
+      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+    }
+  }
+  rng.load_state(final_state);
+
+  // Sort + dedup each row in place, compacting as we go (same invariant as
+  // rmat_csr: the write cursor never passes the read cursor).
+  eid_t write = 0;
+  eid_t row_begin = 0;
+  for (vid_t r = 0; r < n; ++r) {
+    const eid_t row_end = row_ptr[static_cast<std::size_t>(r) + 1];
+    auto* first = col_idx.data() + row_begin;
+    auto* last = col_idx.data() + row_end;
+    std::sort(first, last);
+    last = std::unique(first, last);
+    for (auto* p = first; p != last; ++p) {
+      col_idx[static_cast<std::size_t>(write++)] = *p;
+    }
+    row_begin = row_end;
+    row_ptr[static_cast<std::size_t>(r) + 1] = write;
+  }
+  col_idx.resize(static_cast<std::size_t>(write));
+  col_idx.shrink_to_fit();
+  std::vector<real_t> vals(static_cast<std::size_t>(write), real_t{1});
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
 CooMatrix clustered_graph(vid_t n, vid_t cluster_size, int intra_degree,
                           double inter_fraction, Rng& rng, bool scramble_ids,
                           std::vector<vid_t>* cluster_of) {

@@ -48,6 +48,20 @@ CooMatrix rmat(int scale, int edge_factor, Rng& rng, RmatParams params = {});
 /// (tests/test_generators.cpp pins both).
 CsrMatrix rmat_csr(int scale, int edge_factor, Rng& rng, RmatParams params = {});
 
+/// Power-law ("scale-free") graph streamed straight into CSR, the second
+/// large-sim generator next to rmat_csr. n*avg_degree/2 endpoint pairs are
+/// drawn i.i.d. from Zipf(exponent) over the vertex ids (low ids are the
+/// hubs before scrambling), symmetrized, deduplicated, and loop-free. Uses
+/// the same two-pass streamed construction as rmat_csr — every Zipf draw
+/// consumes exactly one uniform (inverse-CDF table), so the count pass and
+/// the fill pass replay the identical edge stream from a snapshotted RNG
+/// state and peak memory is ~8 bytes per stored arc. Deterministic in
+/// (n, avg_degree, exponent, seed): bitwise identical output and final RNG
+/// state regardless of thread count (construction is single-threaded by
+/// design) or how often it is re-run.
+CsrMatrix powerlaw_csr(vid_t n, int avg_degree, double exponent, Rng& rng,
+                       bool scramble_ids = true);
+
 /// Clustered ("protein-like") graph: n vertices in n/cluster_size clusters;
 /// each vertex draws ~intra_degree neighbors inside its cluster and with
 /// probability inter_fraction one neighbor from an adjacent cluster.

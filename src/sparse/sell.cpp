@@ -1,0 +1,213 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/parallel.hpp"
+#include "common/width_dispatch.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+
+SellMatrix SellMatrix::from_csr(const CsrMatrix& a, int chunk, int sigma) {
+  SAGNN_REQUIRE(chunk >= 1, "SELL: chunk must be >= 1");
+  SellMatrix s;
+  s.n_rows_ = a.n_rows();
+  s.n_cols_ = a.n_cols();
+  s.c_ = chunk;
+  s.nnz_ = a.nnz();
+  const vid_t n = a.n_rows();
+  // Effective sorting window: whole matrix when sigma <= 0, else rounded up
+  // to a chunk multiple so every chunk lies inside one window.
+  const vid_t window =
+      sigma <= 0 ? std::max<vid_t>(n, chunk)
+                 : static_cast<vid_t>(ceil_div(sigma, chunk)) * chunk;
+  s.sigma_ = static_cast<int>(window);
+
+  s.perm_.resize(static_cast<std::size_t>(n));
+  std::iota(s.perm_.begin(), s.perm_.end(), vid_t{0});
+  for (vid_t w = 0; w < n; w += window) {
+    const vid_t w_end = std::min<vid_t>(w + window, n);
+    // Stable: equal-degree rows keep ascending original order, so the
+    // layout (and thus to_csr and the kernel's memory walk) is a pure
+    // function of the matrix — no comparator ties decided by libc.
+    std::stable_sort(s.perm_.begin() + w, s.perm_.begin() + w_end,
+                     [&](vid_t x, vid_t y) { return a.row_nnz(x) > a.row_nnz(y); });
+  }
+
+  s.len_.resize(static_cast<std::size_t>(n));
+  for (vid_t slot = 0; slot < n; ++slot) {
+    s.len_[static_cast<std::size_t>(slot)] =
+        static_cast<vid_t>(a.row_nnz(s.perm_[static_cast<std::size_t>(slot)]));
+  }
+
+  const vid_t n_chunks = static_cast<vid_t>(ceil_div(n, chunk));
+  s.chunk_off_.assign(static_cast<std::size_t>(n_chunks) + 1, 0);
+  for (vid_t k = 0; k < n_chunks; ++k) {
+    const vid_t base = k * chunk;
+    const vid_t lanes = std::min<vid_t>(chunk, n - base);
+    vid_t width = 0;
+    for (vid_t lane = 0; lane < lanes; ++lane) {
+      width = std::max(width, s.len_[static_cast<std::size_t>(base + lane)]);
+    }
+    s.chunk_off_[static_cast<std::size_t>(k) + 1] =
+        s.chunk_off_[static_cast<std::size_t>(k)] +
+        static_cast<eid_t>(width) * lanes;
+  }
+
+  // Padding entries stay (col 0, val 0); the kernel never reads them (the
+  // per-slot length bounds the loop), so their contents are cosmetic.
+  s.col_idx_.assign(static_cast<std::size_t>(s.stored()), 0);
+  s.vals_.assign(static_cast<std::size_t>(s.stored()), real_t{0});
+  for (vid_t k = 0; k < n_chunks; ++k) {
+    const vid_t base = k * chunk;
+    const vid_t lanes = std::min<vid_t>(chunk, n - base);
+    const eid_t off = s.chunk_off_[static_cast<std::size_t>(k)];
+    for (vid_t lane = 0; lane < lanes; ++lane) {
+      const vid_t slot = base + lane;
+      const auto cols = a.row_cols(s.perm_[static_cast<std::size_t>(slot)]);
+      const auto vals = a.row_vals(s.perm_[static_cast<std::size_t>(slot)]);
+      for (vid_t e = 0; e < s.len_[static_cast<std::size_t>(slot)]; ++e) {
+        const auto idx = static_cast<std::size_t>(
+            off + static_cast<eid_t>(e) * lanes + lane);
+        s.col_idx_[idx] = cols[static_cast<std::size_t>(e)];
+        s.vals_[idx] = vals[static_cast<std::size_t>(e)];
+      }
+    }
+  }
+  return s;
+}
+
+CsrMatrix SellMatrix::to_csr() const {
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(n_rows_) + 1, 0);
+  for (vid_t slot = 0; slot < n_rows_; ++slot) {
+    row_ptr[static_cast<std::size_t>(perm_[static_cast<std::size_t>(slot)]) + 1] =
+        len_[static_cast<std::size_t>(slot)];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n_rows_); ++r) {
+    row_ptr[r + 1] += row_ptr[r];
+  }
+  std::vector<vid_t> col_idx(static_cast<std::size_t>(nnz_));
+  std::vector<real_t> vals(static_cast<std::size_t>(nnz_));
+  const vid_t n_chunks = this->n_chunks();
+  for (vid_t k = 0; k < n_chunks; ++k) {
+    const vid_t base = k * c_;
+    const vid_t lanes = std::min<vid_t>(c_, n_rows_ - base);
+    const eid_t off = chunk_off_[static_cast<std::size_t>(k)];
+    for (vid_t lane = 0; lane < lanes; ++lane) {
+      const vid_t slot = base + lane;
+      const auto dst =
+          static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(
+              perm_[static_cast<std::size_t>(slot)])]);
+      for (vid_t e = 0; e < len_[static_cast<std::size_t>(slot)]; ++e) {
+        const auto idx = static_cast<std::size_t>(
+            off + static_cast<eid_t>(e) * lanes + lane);
+        col_idx[dst + static_cast<std::size_t>(e)] = col_idx_[idx];
+        vals[dst + static_cast<std::size_t>(e)] = vals_[idx];
+      }
+    }
+  }
+  return {n_rows_, n_cols_, std::move(row_ptr), std::move(col_idx),
+          std::move(vals)};
+}
+
+namespace {
+
+/// Chunks [chunk_begin, chunk_end) of Z += A * H over SELL storage. Slots
+/// walk their rows in the same ascending-column order as the CSR kernel;
+/// the padded tail (e >= len) is never read.
+template <int F>
+struct SellChunkKernel {
+  static void run(const SellMatrix& a, const Matrix& h, Matrix& z,
+                  vid_t chunk_begin, vid_t chunk_end) {
+    const vid_t f = F == kDynamicWidth ? h.n_cols() : F;
+    const auto perm = a.perm();
+    const auto len = a.slot_len();
+    const auto off = a.chunk_off();
+    const auto col_idx = a.col_idx();
+    const auto vals = a.vals();
+    const vid_t c = a.chunk(), n = a.n_rows();
+    for (vid_t k = chunk_begin; k < chunk_end; ++k) {
+      const vid_t base = k * c;
+      const vid_t lanes = std::min<vid_t>(c, n - base);
+      const eid_t o = off[k];
+      for (vid_t lane = 0; lane < lanes; ++lane) {
+        const vid_t slot = base + lane;
+        real_t* zr = z.row(perm[slot]);
+        const vid_t m = len[slot];
+        for (vid_t e = 0; e < m; ++e) {
+          const auto idx =
+              static_cast<std::size_t>(o + static_cast<eid_t>(e) * lanes + lane);
+          const real_t v = vals[idx];
+          const real_t* hr = h.row(col_idx[idx]);
+          for (vid_t j = 0; j < f; ++j) zr[j] += v * hr[j];
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void spmm_accumulate(const SellMatrix& a, const Matrix& h, Matrix& z) {
+  SAGNN_REQUIRE(h.n_rows() == a.n_cols(), "SpMM: H row count must equal A col count");
+  SAGNN_REQUIRE(z.n_rows() == a.n_rows() && z.n_cols() == h.n_cols(),
+                "SpMM: Z shape must be (A rows x H cols)");
+  const auto rows_fn = select_by_width<SellChunkKernel>(h.n_cols());
+  const vid_t n_chunks = a.n_chunks();
+  if (in_serial_region()) {
+    rows_fn(a, h, z, 0, n_chunks);
+    return;
+  }
+  const std::int64_t n_blocks = std::min<std::int64_t>(
+      n_chunks, static_cast<std::int64_t>(parallel_threads()) * 4);
+  if (n_blocks <= 1) {
+    rows_fn(a, h, z, 0, n_chunks);
+    return;
+  }
+  // Same nnz-balancing as the CSR kernel, over chunks: block b owns the
+  // chunks whose cumulative allocated-entry count falls in its share.
+  // Chunks own disjoint slots and the permutation is a bijection, so
+  // blocks write disjoint output rows — bitwise at any thread count.
+  const auto off = a.chunk_off();
+  const double per_block =
+      static_cast<double>(a.stored()) / static_cast<double>(n_blocks);
+  std::vector<vid_t> bounds(static_cast<std::size_t>(n_blocks) + 1, 0);
+  bounds.back() = n_chunks;
+  for (std::int64_t b = 1; b < n_blocks; ++b) {
+    const auto target = static_cast<eid_t>(per_block * static_cast<double>(b));
+    const auto it = std::lower_bound(off.begin(), off.end(), target);
+    bounds[static_cast<std::size_t>(b)] = static_cast<vid_t>(
+        std::min<std::ptrdiff_t>(it - off.begin(), n_chunks));
+  }
+  parallel_for(0, n_blocks, 1, [&](std::int64_t bb, std::int64_t be) {
+    for (std::int64_t b = bb; b < be; ++b) {
+      rows_fn(a, h, z, bounds[static_cast<std::size_t>(b)],
+              bounds[static_cast<std::size_t>(b) + 1]);
+    }
+  });
+}
+
+SpmmOperand::SpmmOperand(const CsrMatrix& csr, const KernelConfig& config)
+    : csr_(&csr) {
+  if (config.format == SpmmFormat::kSell) {
+    sell_.emplace(SellMatrix::from_csr(csr, config));
+  }
+}
+
+void SpmmOperand::accumulate(const Matrix& h, Matrix& z) const {
+  SAGNN_REQUIRE(csr_ != nullptr, "SpmmOperand: accumulate on empty operand");
+  if (sell_) {
+    spmm_accumulate(*sell_, h, z);
+  } else {
+    spmm_accumulate(*csr_, h, z);
+  }
+}
+
+Matrix spmm(const SpmmOperand& a, const Matrix& h) {
+  Matrix z(a.csr().n_rows(), h.n_cols());
+  a.accumulate(h, z);
+  return z;
+}
+
+}  // namespace sagnn

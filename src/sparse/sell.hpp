@@ -1,0 +1,140 @@
+#pragma once
+// SELL-C-sigma sparse format and the KernelConfig knob that selects it.
+//
+// SELL-C-sigma (Kreutzer et al., sliced ELLPACK with row sorting) stores
+// the matrix in chunks of C consecutive slots. Within a sorting window of
+// sigma slots, rows are stably reordered by descending nonzero count, so
+// the rows sharing a chunk have similar lengths and the per-chunk padding
+// (each chunk is allocated at the width of its longest row) stays small.
+// Storage inside a chunk is column-major: entry slice e of all lanes is
+// contiguous, and a slot walks its row at stride `lanes`.
+//
+// Bitwise contract: the SpMM kernel over a SellMatrix accumulates each
+// output row's nonzeros in the same ascending-column order as the CSR
+// reference kernel, and padding entries are never touched arithmetically
+// (per-slot lengths bound the loop; no `0 * x` that could flip a -0.0).
+// The permutation maps slots to original rows bijectively, so parallel
+// chunk blocks own disjoint output rows. Result: bitwise identical to
+// spmm_accumulate_reference on the source CsrMatrix at every thread count
+// (tests/test_sell_format.cpp sweeps this).
+//
+// The format is selected per-trainer via KernelConfig (TrainConfig::kernels
+// -> TrainerBuilder::kernels() -> StrategyContext::kernels); the default
+// stays plain CSR, which is bitwise identical anyway — the knob only
+// changes which bytes the kernel streams.
+
+#include <optional>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace sagnn {
+
+/// Which storage the local SpMM kernels stream.
+enum class SpmmFormat {
+  kCsr,   ///< plain CSR (default; the format everything else shares)
+  kSell,  ///< SELL-C-sigma built once per operand from the CSR
+};
+
+/// Kernel selection knob, carried by TrainConfig/ExperimentSpec and plumbed
+/// to every local SpMM call site. Runtime-only: deliberately NOT serialized
+/// into checkpoints (same doctrine as auto_checkpoint/fault_plan — the
+/// format never changes results, so a resumed run re-arms it explicitly via
+/// TrainerBuilder::kernels()).
+struct KernelConfig {
+  SpmmFormat format = SpmmFormat::kCsr;
+  int sell_chunk = 32;    ///< C: rows per chunk
+  int sell_sigma = 4096;  ///< sigma: sorting-window size in rows (<=0: whole matrix)
+};
+
+/// SELL-C-sigma matrix, built once from a CsrMatrix.
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  /// Convert. `chunk` >= 1; `sigma` <= 0 sorts the whole matrix as one
+  /// window, otherwise it is rounded up to a multiple of `chunk` so no
+  /// chunk straddles two sorting windows.
+  static SellMatrix from_csr(const CsrMatrix& a, int chunk, int sigma);
+  static SellMatrix from_csr(const CsrMatrix& a, const KernelConfig& config) {
+    return from_csr(a, config.sell_chunk, config.sell_sigma);
+  }
+
+  /// Exact inverse of from_csr: reconstructs the source matrix (bitwise;
+  /// round-trip tested). O(nnz + n).
+  CsrMatrix to_csr() const;
+
+  vid_t n_rows() const { return n_rows_; }
+  vid_t n_cols() const { return n_cols_; }
+  eid_t nnz() const { return nnz_; }
+  int chunk() const { return c_; }
+  int sigma() const { return sigma_; }
+
+  /// Allocated entries including padding (>= nnz()).
+  eid_t stored() const { return chunk_off_.empty() ? 0 : chunk_off_.back(); }
+  /// Fraction of allocated entries that are padding, in [0, 1).
+  double padding_ratio() const {
+    return stored() == 0 ? 0.0
+                         : static_cast<double>(stored() - nnz_) /
+                               static_cast<double>(stored());
+  }
+
+  vid_t n_chunks() const { return static_cast<vid_t>(chunk_off_.size()) - 1; }
+  /// Original row held by slot s (bijection over [0, n_rows)).
+  std::span<const vid_t> perm() const { return perm_; }
+  /// Real (unpadded) length of slot s.
+  std::span<const vid_t> slot_len() const { return len_; }
+  /// Storage offset of chunk k (n_chunks()+1 entries; deltas are the
+  /// per-chunk allocated sizes, the weights the parallel kernel balances).
+  std::span<const eid_t> chunk_off() const { return chunk_off_; }
+  std::span<const vid_t> col_idx() const { return col_idx_; }
+  std::span<const real_t> vals() const { return vals_; }
+
+ private:
+  vid_t n_rows_ = 0;
+  vid_t n_cols_ = 0;
+  int c_ = 0;
+  int sigma_ = 0;
+  eid_t nnz_ = 0;
+  std::vector<vid_t> perm_;       // slot -> original row
+  std::vector<vid_t> len_;        // slot -> real row length
+  std::vector<eid_t> chunk_off_;  // chunk -> storage offset
+  std::vector<vid_t> col_idx_;    // column-major per chunk, padded
+  std::vector<real_t> vals_;
+
+  friend class SellMatrixTestPeer;
+};
+
+/// Z += A * H over the SELL storage. Bitwise identical to
+/// spmm_accumulate_reference on the source CSR at every thread count.
+void spmm_accumulate(const SellMatrix& a, const Matrix& h, Matrix& z);
+
+/// A SpMM left operand in whichever format `config` selects: a non-owning
+/// view of the CSR plus, when format == kSell, an owned SELL conversion
+/// built once at construction. The CsrMatrix must outlive the operand
+/// (owners build operands next to their stable CSR members).
+class SpmmOperand {
+ public:
+  SpmmOperand() = default;
+  SpmmOperand(const CsrMatrix& csr, const KernelConfig& config);
+
+  const CsrMatrix& csr() const { return *csr_; }
+  SpmmFormat format() const {
+    return sell_ ? SpmmFormat::kSell : SpmmFormat::kCsr;
+  }
+  /// The SELL conversion, or nullptr on the CSR path.
+  const SellMatrix* sell() const { return sell_ ? &*sell_ : nullptr; }
+
+  /// Z += A * H via the selected format. Bitwise identical across formats.
+  void accumulate(const Matrix& h, Matrix& z) const;
+
+ private:
+  const CsrMatrix* csr_ = nullptr;
+  std::optional<SellMatrix> sell_;
+};
+
+/// Z = A * H (convenience; allocates).
+Matrix spmm(const SpmmOperand& a, const Matrix& h);
+
+}  // namespace sagnn

@@ -1,0 +1,111 @@
+// Large-sim generator regime (the --large bench tier's inputs): the
+// streamed CSR generators at millions of edges must be bit-exact across
+// thread counts (construction is deliberately single-threaded — the pool
+// size must not leak into the stream) and across re-runs from the same
+// seed, and the power-law generator's degree distribution must show the
+// heavy Zipf tail the skew-sensitive benches rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "graph/generators.hpp"
+
+namespace sagnn {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_parallel_threads(0); }
+};
+
+TEST(GeneratorsScale, PowerlawCsrIsSimpleSymmetric) {
+  Rng rng(21);
+  const CsrMatrix a = powerlaw_csr(2000, 8, 0.8, rng);
+  a.validate();
+  EXPECT_EQ(a.n_rows(), 2000);
+  EXPECT_GT(a.nnz(), 0);
+  for (vid_t v = 0; v < a.n_rows(); ++v) {
+    EXPECT_FLOAT_EQ(a.at(v, v), 0.0f) << "self loop at " << v;
+    for (vid_t u : a.row_cols(v)) {
+      EXPECT_NE(a.at(u, v), 0.0f) << "missing reverse arc " << u << "->" << v;
+    }
+  }
+}
+
+TEST(GeneratorsScale, PowerlawCsrDeterministicWithMatchingFinalState) {
+  Rng r1(22), r2(22);
+  const CsrMatrix a = powerlaw_csr(1500, 6, 1.0, r1);
+  const CsrMatrix b = powerlaw_csr(1500, 6, 1.0, r2);
+  EXPECT_TRUE(a == b);
+  // Both generators must also END in the same state: downstream draws
+  // (features, weights) stay reproducible after the graph is built.
+  EXPECT_EQ(r1.save_state(), r2.save_state());
+  EXPECT_EQ(r1.next(), r2.next());
+}
+
+TEST(GeneratorsScale, PowerlawCsrHasZipfTail) {
+  // Without scrambling, low vertex ids are the Zipf hubs: degrees must be
+  // monotone-ish in rank with a heavy head, and the top 1% of vertices
+  // must hold a disproportionate share of the arcs.
+  Rng rng(23);
+  const vid_t n = 4000;
+  const CsrMatrix a = powerlaw_csr(n, 8, 1.0, rng, /*scramble_ids=*/false);
+  const DegreeStats st = degree_stats(a);
+  EXPECT_GT(st.max, 10 * st.avg);
+  EXPECT_LT(st.max, n);  // dedup caps a hub at n-1 distinct neighbors
+  // Vertex 0 is the heaviest hub (up to dedup noise among the top few).
+  vid_t head_max = 0;
+  for (vid_t v = 0; v < 8; ++v) {
+    head_max = std::max(head_max, static_cast<vid_t>(a.row_nnz(v)));
+  }
+  EXPECT_EQ(head_max, st.max);
+
+  std::vector<eid_t> degrees(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) degrees[static_cast<std::size_t>(v)] = a.row_nnz(v);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const eid_t top1pct = std::accumulate(
+      degrees.begin(), degrees.begin() + n / 100, eid_t{0});
+  EXPECT_GT(static_cast<double>(top1pct), 0.10 * static_cast<double>(a.nnz()))
+      << "top 1% of vertices hold too few arcs for a Zipf(1.0) tail";
+}
+
+TEST(GeneratorsScale, PowerlawCsrMillionsOfEdgesBitExactAcrossThreadCounts) {
+  // The --large regime: 2^19 vertices x 16 = 4.2M sampled endpoint pairs.
+  // The construction never consults the thread pool, so the pool size must
+  // not leak into the output — and a second streaming pass from the same
+  // seed must reproduce every byte.
+  ThreadCountGuard guard;
+  const vid_t n = vid_t{1} << 19;
+  set_parallel_threads(1);
+  Rng r1(24);
+  const CsrMatrix a = powerlaw_csr(n, 16, 0.9, r1);
+  EXPECT_GT(a.nnz(), eid_t{4} * 1000 * 1000);
+  a.validate();
+  set_parallel_threads(8);
+  Rng r8(24);
+  const CsrMatrix b = powerlaw_csr(n, 16, 0.9, r8);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(r1.save_state(), r8.save_state());
+  const DegreeStats st = degree_stats(a);
+  EXPECT_GT(st.max, 20 * st.avg);  // scrambled ids, same heavy tail
+}
+
+TEST(GeneratorsScale, RmatCsrMillionsOfEdgesBitExactAcrossThreadCounts) {
+  // Same contract for the R-MAT streamer at the --large tier's exact
+  // configuration (scale 18, edge factor 16 -> 4.2M generated edges).
+  ThreadCountGuard guard;
+  set_parallel_threads(1);
+  Rng r1(25);
+  const CsrMatrix a = rmat_csr(18, 16, r1);
+  EXPECT_GT(a.nnz(), eid_t{4} * 1000 * 1000);
+  set_parallel_threads(8);
+  Rng r8(25);
+  const CsrMatrix b = rmat_csr(18, 16, r8);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(r1.save_state(), r8.save_state());
+}
+
+}  // namespace
+}  // namespace sagnn

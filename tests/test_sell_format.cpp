@@ -1,0 +1,240 @@
+// SELL-C-sigma structural properties and the bitwise SpMM parity contract
+// (sparse/sell.hpp). to_csr() must invert from_csr() exactly; padding must
+// be accounted (stored == nnz + padding, ratio consistent); pathological
+// sorting windows (all-equal degrees, one giant row, sigma <= 0, sigma not
+// a multiple of C) must still produce a bijective slot permutation; and the
+// SELL SpMM must be bitwise equal to the CSR reference at thread counts
+// {1, 2, 8}. No tolerance anywhere in this file.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "graph/generators.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmm.hpp"
+
+namespace sagnn {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_parallel_threads(0); }
+};
+
+const int kThreadCounts[] = {1, 2, 8};
+
+CsrMatrix random_csr(vid_t n_rows, vid_t n_cols, eid_t nnz, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n_rows, n_cols);
+  for (eid_t i = 0; i < nnz; ++i) {
+    coo.add(static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n_rows))),
+            static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n_cols))),
+            rng.uniform(-2, 2));
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+/// One row of length n_cols, everything else degree 1 — the worst case for
+/// chunk padding and the classic sigma-window pathology.
+CsrMatrix giant_row_csr(vid_t n_rows, vid_t n_cols, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n_rows, n_cols);
+  const vid_t giant = n_rows / 2;
+  for (vid_t c = 0; c < n_cols; ++c) coo.add(giant, c, rng.uniform(-2, 2));
+  for (vid_t r = 0; r < n_rows; ++r) {
+    if (r != giant) {
+      coo.add(r, static_cast<vid_t>(rng.next_below(
+                     static_cast<std::uint64_t>(n_cols))),
+              rng.uniform(-2, 2));
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+/// Every row exactly `deg` entries — sorting is a no-op and the stable
+/// permutation must come out identity.
+CsrMatrix regular_csr(vid_t n, int deg, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (vid_t r = 0; r < n; ++r) {
+    for (int d = 0; d < deg; ++d) {
+      coo.add(r, (r + static_cast<vid_t>(d) * 7 + 1) % n, rng.uniform(-2, 2));
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+void expect_bijective_perm(const SellMatrix& sell) {
+  std::vector<vid_t> seen(sell.perm().begin(), sell.perm().end());
+  std::sort(seen.begin(), seen.end());
+  for (vid_t i = 0; i < sell.n_rows(); ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+}
+
+void expect_roundtrip(const CsrMatrix& a, int chunk, int sigma) {
+  const SellMatrix sell = SellMatrix::from_csr(a, chunk, sigma);
+  EXPECT_EQ(sell.nnz(), a.nnz());
+  EXPECT_GE(sell.stored(), sell.nnz());
+  expect_bijective_perm(sell);
+  const CsrMatrix back = sell.to_csr();
+  EXPECT_TRUE(back == a) << "chunk=" << chunk << " sigma=" << sigma;
+}
+
+TEST(SellFormat, RoundTripAcrossChunkAndSigma) {
+  const CsrMatrix a = random_csr(257, 129, 3000, 31);
+  for (const int chunk : {1, 4, 32, 300}) {
+    // sigma < chunk, equal, non-multiple, whole-matrix (<= 0).
+    for (const int sigma : {1, 4, 50, 4096, 0, -1}) {
+      expect_roundtrip(a, chunk, sigma);
+    }
+  }
+}
+
+TEST(SellFormat, RoundTripOnDegenerateShapes) {
+  // Single row, single column, empty matrix, all-empty rows.
+  expect_roundtrip(random_csr(1, 40, 25, 7), 32, 4096);
+  expect_roundtrip(random_csr(40, 1, 25, 8), 32, 4096);
+  expect_roundtrip(CsrMatrix::from_coo(CooMatrix(17, 9)), 4, 8);
+  expect_roundtrip(giant_row_csr(65, 64, 9), 8, 16);
+}
+
+TEST(SellFormat, AllEqualDegreesKeepIdentityPermutation) {
+  const CsrMatrix a = regular_csr(96, 3, 10);
+  const SellMatrix sell = SellMatrix::from_csr(a, 8, 32);
+  // Stable sort over equal keys: slot s holds row s, and with uniform row
+  // lengths there is zero padding.
+  for (vid_t s = 0; s < a.n_rows(); ++s) {
+    EXPECT_EQ(sell.perm()[static_cast<std::size_t>(s)], s);
+  }
+  EXPECT_EQ(sell.stored(), sell.nnz());
+  EXPECT_EQ(sell.padding_ratio(), 0.0);
+  EXPECT_TRUE(sell.to_csr() == a);
+}
+
+TEST(SellFormat, GiantRowPaddingIsWindowLocal) {
+  // With the whole matrix as one window the giant row sorts to slot 0 and
+  // pollutes only its own chunk; padding = (chunk-1) * (giant - smalls).
+  const vid_t n = 64;
+  const CsrMatrix a = giant_row_csr(n, n, 11);
+  const SellMatrix whole = SellMatrix::from_csr(a, 8, 0);
+  EXPECT_EQ(whole.perm()[0], n / 2);  // giant row first
+  EXPECT_EQ(whole.stored() - whole.nnz(), static_cast<eid_t>(7) * (n - 1));
+  EXPECT_TRUE(whole.to_csr() == a);
+
+  // With sigma == chunk the window containing the giant row pays the same
+  // padding but no other window reorders at all.
+  const SellMatrix local = SellMatrix::from_csr(a, 8, 8);
+  EXPECT_EQ(local.stored(), whole.stored());
+  for (vid_t s = 0; s < n; ++s) {
+    const vid_t window = s / 8;
+    EXPECT_EQ(local.perm()[static_cast<std::size_t>(s)] / 8, window)
+        << "slot " << s << " escaped its sigma window";
+  }
+  EXPECT_TRUE(local.to_csr() == a);
+}
+
+TEST(SellFormat, PaddingAccountingMatchesChunkGeometry) {
+  const CsrMatrix a = random_csr(100, 60, 900, 12);
+  const SellMatrix sell = SellMatrix::from_csr(a, 16, 32);
+  // stored() must equal the sum over chunks of width * lanes, recomputable
+  // from the public geometry.
+  eid_t recomputed = 0;
+  for (vid_t k = 0; k < sell.n_chunks(); ++k) {
+    const vid_t base = k * 16;
+    const vid_t lanes = std::min<vid_t>(16, sell.n_rows() - base);
+    vid_t width = 0;
+    for (vid_t lane = 0; lane < lanes; ++lane) {
+      width = std::max(width, sell.slot_len()[static_cast<std::size_t>(base + lane)]);
+    }
+    recomputed += static_cast<eid_t>(width) * lanes;
+    EXPECT_EQ(sell.chunk_off()[static_cast<std::size_t>(k) + 1] -
+                  sell.chunk_off()[static_cast<std::size_t>(k)],
+              static_cast<eid_t>(width) * lanes);
+  }
+  EXPECT_EQ(sell.stored(), recomputed);
+  const eid_t slot_sum = std::accumulate(
+      sell.slot_len().begin(), sell.slot_len().end(), eid_t{0});
+  EXPECT_EQ(slot_sum, sell.nnz());
+}
+
+TEST(SellFormat, SpmmParitySweepBitwiseMatchesReference) {
+  ThreadCountGuard guard;
+  Rng rng(13);
+  const struct {
+    vid_t rows, cols;
+    eid_t nnz;
+    vid_t f;
+    int chunk, sigma;
+  } cases[] = {
+      {129, 65, 700, 1, 32, 4096}, {64, 64, 511, 7, 8, 8},
+      {1, 40, 25, 7, 32, 0},       {257, 129, 3000, 16, 4, 12},
+      {1000, 500, 8000, 64, 32, 128},
+  };
+  for (const auto& s : cases) {
+    const CsrMatrix a = random_csr(s.rows, s.cols, s.nnz, s.rows * 17 + s.f);
+    const SellMatrix sell = SellMatrix::from_csr(a, s.chunk, s.sigma);
+    const Matrix h = Matrix::random_uniform(s.cols, s.f, rng);
+    Matrix want(s.rows, s.f);
+    spmm_accumulate_reference(a, h, want);
+    for (int t : kThreadCounts) {
+      set_parallel_threads(t);
+      Matrix got(s.rows, s.f);
+      spmm_accumulate(sell, h, got);
+      EXPECT_TRUE(got == want) << s.rows << "x" << s.cols << " f=" << s.f
+                               << " chunk=" << s.chunk << " sigma=" << s.sigma
+                               << " threads=" << t;
+    }
+  }
+}
+
+TEST(SellFormat, GiantRowSpmmParity) {
+  ThreadCountGuard guard;
+  Rng rng(14);
+  const CsrMatrix a = giant_row_csr(120, 120, 15);
+  const Matrix h = Matrix::random_uniform(120, 16, rng);
+  Matrix want(120, 16);
+  spmm_accumulate_reference(a, h, want);
+  for (const int sigma : {0, 8, 64}) {
+    const SellMatrix sell = SellMatrix::from_csr(a, 8, sigma);
+    for (int t : kThreadCounts) {
+      set_parallel_threads(t);
+      Matrix got(120, 16);
+      spmm_accumulate(sell, h, got);
+      EXPECT_TRUE(got == want) << "sigma=" << sigma << " threads=" << t;
+    }
+  }
+}
+
+TEST(SellFormat, OperandDispatchesBothFormats) {
+  ThreadCountGuard guard;
+  Rng rng(16);
+  const CsrMatrix a = random_csr(90, 45, 600, 17);
+  const Matrix h = Matrix::random_uniform(45, 32, rng);
+  Matrix want(90, 32);
+  spmm_accumulate_reference(a, h, want);
+
+  const SpmmOperand csr_op(a, KernelConfig{});
+  EXPECT_EQ(csr_op.format(), SpmmFormat::kCsr);
+  EXPECT_EQ(csr_op.sell(), nullptr);
+
+  KernelConfig sell_cfg;
+  sell_cfg.format = SpmmFormat::kSell;
+  sell_cfg.sell_chunk = 8;
+  sell_cfg.sell_sigma = 16;
+  const SpmmOperand sell_op(a, sell_cfg);
+  EXPECT_EQ(sell_op.format(), SpmmFormat::kSell);
+  ASSERT_NE(sell_op.sell(), nullptr);
+  EXPECT_EQ(sell_op.sell()->chunk(), 8);
+
+  for (int t : kThreadCounts) {
+    set_parallel_threads(t);
+    EXPECT_TRUE(spmm(csr_op, h) == want) << "csr threads=" << t;
+    EXPECT_TRUE(spmm(sell_op, h) == want) << "sell threads=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace sagnn
